@@ -1,0 +1,114 @@
+// Ablation: the channel-token-query (quadratic in C) aggregation the
+// paper analyses vs the single-learned-query (linear in C, ClimaX-style)
+// variant, plus the cost of tree depth — the design-choice study behind
+// DESIGN.md's cross-attention memory convention.
+#include "bench_util.hpp"
+#include "hw/perf_model.hpp"
+#include "model/perceiver.hpp"
+
+namespace {
+using namespace dchag;
+using namespace dchag::hw;
+using model::AggLayerKind;
+}  // namespace
+
+int main() {
+  bench::header("Ablation", "Aggregation query mode and tree depth");
+  bench::ShapeChecks checks;
+
+  bench::section("aggregation activation memory vs channels (1.7B, batch 21)");
+  ModelConfig quad = ModelConfig::preset("1.7B");
+  ModelConfig lin = quad;
+  lin.query_mode = model::QueryMode::kLearnedQuery;
+  std::printf("%8s %18s %18s %8s\n", "channels", "channel-query(GB)",
+              "learned-query(GB)", "ratio");
+  double prev_ratio = 0;
+  for (Index c : {64, 128, 256, 512, 1024}) {
+    Workload w{21, c, true};
+    const auto mq = estimate_memory(quad, w, {1, 1, 1}, DchagSpec::off());
+    const auto ml = estimate_memory(lin, w, {1, 1, 1}, DchagSpec::off());
+    const double ratio = mq.aggregation_act_gb / ml.aggregation_act_gb;
+    std::printf("%8lld %18.2f %18.2f %8.1f\n", static_cast<long long>(c),
+                mq.aggregation_act_gb, ml.aggregation_act_gb, ratio);
+    checks.expect(ratio > prev_ratio,
+                  "quadratic/linear memory ratio grows with C (C=" +
+                      std::to_string(c) + ")");
+    prev_ratio = ratio;
+  }
+
+  bench::section("tree parameter overhead vs depth (paper §3.2 tradeoff)");
+  std::printf("%8s %16s %16s %16s\n", "units", "params -C", "params -L",
+              "peak width");
+  const ModelConfig cfg = ModelConfig::preset("1.7B");
+  Index prev_params = 0;
+  bool params_grow = true;
+  for (Index units : {1, 2, 4, 8, 16}) {
+    const Index width = model::tree_units_to_width(512, units);
+    const auto plan = model::plan_tree(512, width);
+    const Index pc =
+        model::tree_params(cfg, AggLayerKind::kCrossAttention, plan);
+    const Index pl = model::tree_params(cfg, AggLayerKind::kLinear, plan);
+    std::printf("%8lld %16lld %16lld %16lld\n",
+                static_cast<long long>(units), static_cast<long long>(pc),
+                static_cast<long long>(pl),
+                static_cast<long long>(plan.max_width()));
+    params_grow = params_grow && pc >= prev_params;
+    prev_params = pc;
+    checks.expect(pl < pc, "linear tree cheaper than cross-attention tree "
+                           "(units=" +
+                               std::to_string(units) + ")");
+  }
+  checks.expect(params_grow,
+                "deeper hierarchies add parameters (paper §3.2 tradeoff)");
+
+  bench::section("quadratic -> linear complexity via hierarchy (paper §3.2)");
+  // Score FLOPs of a single full-width unit vs a fixed-width-64 tree.
+  std::printf("%8s %18s %18s\n", "channels", "single-layer TF",
+              "tree(width 64) TF");
+  double prev_single = 0;
+  double prev_tree = 0;
+  for (Index c : {128, 256, 512, 1024}) {
+    const auto single = FlopModel::aggregation_flops(
+        cfg, 1.0, c, AggLayerKind::kCrossAttention);
+    const auto tree = FlopModel::tree_flops(
+        cfg, 1.0, model::plan_tree(c, 64), AggLayerKind::kCrossAttention);
+    std::printf("%8lld %18.3f %18.3f\n", static_cast<long long>(c),
+                single.scores / 1e12, tree.scores / 1e12);
+    if (prev_single > 0) {
+      checks.expect(single.scores / prev_single > 3.5,
+                    "single layer scores quadruple when C doubles (C=" +
+                        std::to_string(c) + ")");
+      checks.expect(tree.scores / prev_tree < 2.5,
+                    "fixed-width tree scores roughly double when C doubles "
+                    "(C=" +
+                        std::to_string(c) + ")");
+    }
+    prev_single = single.scores;
+    prev_tree = tree.scores;
+  }
+
+  bench::section("Perceiver fusion (paper §3.5 / Aurora) parameter cost");
+  // Paper §3.5: "The Perceiver, being a more computationally intensive
+  // cross-attention-based module, is likely to show even greater
+  // performance benefits from D-CHAG". Its parameter count is channel-
+  // independent (latent bottleneck) but each iteration adds a full block.
+  std::printf("%10s %10s %16s %20s\n", "latents", "iters",
+              "perceiver params", "single xattn params");
+  const Index single_params =
+      cfg.aggregator_params(AggLayerKind::kCrossAttention, 512);
+  for (Index iters : {1, 2, 4}) {
+    const Index p = model::perceiver_params(cfg.embed_dim, 64, iters);
+    std::printf("%10d %10lld %16lld %20lld\n", 64,
+                static_cast<long long>(iters), static_cast<long long>(p),
+                static_cast<long long>(single_params));
+  }
+  checks.expect(model::perceiver_params(cfg.embed_dim, 64, 2) >
+                    single_params,
+                "Perceiver fusion is heavier than a single cross-attention "
+                "layer (so D-CHAG's localisation buys more)");
+  checks.expect(model::perceiver_params(cfg.embed_dim, 64, 2) ==
+                    model::perceiver_params(cfg.embed_dim, 64, 2),
+                "Perceiver parameter count is channel-independent "
+                "(latent bottleneck)");
+  return checks.report();
+}

@@ -1,0 +1,46 @@
+// Shared table/report helpers for the figure-reproduction benches. Every
+// bench prints (a) the regenerated rows/series of its paper figure and
+// (b) a SHAPE-CHECK section asserting the figure's qualitative claims, so
+// `for b in build/bench/*; do $b; done` doubles as a reproduction audit.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace dchag::bench {
+
+inline void header(const std::string& fig, const std::string& title) {
+  std::printf("\n==================================================================\n");
+  std::printf("%s — %s\n", fig.c_str(), title.c_str());
+  std::printf("==================================================================\n");
+}
+
+inline void section(const std::string& name) {
+  std::printf("\n--- %s ---\n", name.c_str());
+}
+
+class ShapeChecks {
+ public:
+  void expect(bool ok, const std::string& claim) {
+    results_.emplace_back(ok, claim);
+    failures_ += ok ? 0 : 1;
+  }
+
+  /// Prints the audit and returns the process exit code (0 iff all hold).
+  int report() const {
+    std::printf("\n--- SHAPE CHECKS (paper claims) ---\n");
+    for (const auto& [ok, claim] : results_) {
+      std::printf("[%s] %s\n", ok ? "PASS" : "FAIL", claim.c_str());
+    }
+    std::printf("%zu/%zu claims reproduced\n", results_.size() - failures_,
+                results_.size());
+    return failures_ == 0 ? 0 : 1;
+  }
+
+ private:
+  std::vector<std::pair<bool, std::string>> results_;
+  std::size_t failures_ = 0;
+};
+
+}  // namespace dchag::bench

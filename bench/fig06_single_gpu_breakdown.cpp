@@ -1,0 +1,128 @@
+// Figure 6: single-GPU memory usage and TFLOPs per model component
+// (tokenization, channel aggregation, transformer blocks) vs channel
+// count, for 100M / 1B / 3B models. Memory is normalised to the peak of
+// the full application, as in the paper; OOM marks configurations beyond
+// the 64 GB GCD. Workload: batch 15, 224x224 images, patch 16 (see
+// EXPERIMENTS.md).
+#include "bench_util.hpp"
+#include "hw/perf_model.hpp"
+
+namespace {
+
+using namespace dchag;
+using namespace dchag::hw;
+
+constexpr Index kBatch = 15;
+
+struct Row {
+  Index channels;
+  MemoryBreakdown mem;
+  bool fits;
+  double tok_tf, agg_tf, vit_tf;  // executed TFLOP per step component
+};
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 6",
+                "Single-GPU component breakdown vs channels (100M/1B/3B)");
+  const MachineSpec frontier = MachineSpec::frontier();
+  bench::ShapeChecks checks;
+
+  Index max_fit_100m = 0;
+  Index max_fit_1b = 0;
+  Index max_fit_3b = 0;
+
+  for (const char* preset : {"100M", "1B", "3B"}) {
+    const ModelConfig cfg = ModelConfig::preset(preset);
+    bench::section(std::string("model ") + preset);
+    std::printf("%8s %10s %10s %10s %10s %6s %9s %9s %9s\n", "channels",
+                "mem(norm)", "tok_frac", "agg_frac", "vit_frac", "fits",
+                "tok_TF", "agg_TF", "vit_TF");
+
+    // First pass: find the normalisation peak (max memory among fitting
+    // configurations, as the paper normalises to the full application).
+    std::vector<Row> rows;
+    double peak = 0;
+    for (Index c : {32, 64, 128, 256, 512, 1024}) {
+      Workload w{kBatch, c, /*checkpoint_vit=*/true};
+      Row row;
+      row.channels = c;
+      row.mem = estimate_memory(cfg, w, {1, 1, 1}, DchagSpec::off());
+      row.fits = fits(row.mem, frontier);
+      const double B = static_cast<double>(kBatch);
+      row.tok_tf = 3.0 * FlopModel::tokenizer_flops(cfg, B,
+                                                    static_cast<double>(c)) /
+                   1e12;
+      const auto agg = FlopModel::aggregation_flops(
+          cfg, B, c, model::AggLayerKind::kCrossAttention);
+      row.agg_tf = 3.0 * (agg.scores + agg.proj) / 1e12;
+      row.vit_tf = 4.0 * FlopModel::transformer_flops(cfg, B) / 1e12;
+      if (row.fits) peak = std::max(peak, row.mem.total_gb());
+      rows.push_back(row);
+    }
+    for (const Row& r : rows) {
+      const double total = r.mem.total_gb();
+      const double tok = r.mem.tokenizer_state_gb + r.mem.tokenizer_act_gb +
+                         r.mem.input_act_gb;
+      const double agg =
+          r.mem.aggregation_state_gb + r.mem.aggregation_act_gb;
+      const double vit =
+          r.mem.transformer_state_gb + r.mem.transformer_act_gb;
+      std::printf("%8lld %10.3f %10.3f %10.3f %10.3f %6s %9.2f %9.2f %9.2f\n",
+                  static_cast<long long>(r.channels),
+                  peak > 0 ? total / peak : 0.0, tok / total, agg / total,
+                  vit / total, r.fits ? "yes" : "OOM", r.tok_tf, r.agg_tf,
+                  r.vit_tf);
+      if (r.fits) {
+        auto& slot = std::string(preset) == "100M"
+                         ? max_fit_100m
+                         : (std::string(preset) == "1B" ? max_fit_1b
+                                                        : max_fit_3b);
+        slot = std::max(slot, r.channels);
+      }
+    }
+  }
+
+  // Paper claims.
+  checks.expect(max_fit_100m == 512,
+                "100M model handles up to 512 channels (OOM at 1024)");
+  checks.expect(max_fit_1b == 256,
+                "1B model handles up to 256 channels (OOM at 512)");
+  checks.expect(max_fit_3b == 128,
+                "3B model handles up to 128 channels (OOM at 256)");
+  {
+    // "for the 100M and 1B parameter models, cross-attention and channel
+    //  aggregation are the primary contributors to memory usage" at high C.
+    const ModelConfig cfg = ModelConfig::preset("1B");
+    Workload w{kBatch, 256, true};
+    const auto m = estimate_memory(cfg, w, {1, 1, 1}, DchagSpec::off());
+    const double agg = m.aggregation_state_gb + m.aggregation_act_gb;
+    checks.expect(agg > m.transformer_state_gb + m.transformer_act_gb -
+                            m.transformer_state_gb,  // vs activations
+                  "1B/256ch: aggregation memory exceeds transformer "
+                  "activations");
+    // "for the 3B parameter model, the transformer blocks dominate".
+    const ModelConfig cfg3 = ModelConfig::preset("3B");
+    const auto m3 =
+        estimate_memory(cfg3, Workload{kBatch, 128, true}, {1, 1, 1},
+                        DchagSpec::off());
+    checks.expect(m3.transformer_state_gb + m3.transformer_act_gb >
+                      m3.total_gb() * 0.5,
+                  "3B/128ch: transformer blocks dominate memory");
+  }
+  {
+    // "the majority of the compute (FLOPs) is directed toward channel
+    //  aggregation and tokenization as the model grows" (with channels).
+    const ModelConfig cfg = ModelConfig::preset("1B");
+    const double B = kBatch;
+    const auto agg = FlopModel::aggregation_flops(
+        cfg, B, 256, model::AggLayerKind::kCrossAttention);
+    const double frontend = FlopModel::tokenizer_flops(cfg, B, 256) +
+                            agg.scores + agg.proj;
+    checks.expect(frontend > FlopModel::transformer_flops(cfg, B),
+                  "1B/256ch: tokenization+aggregation FLOPs exceed "
+                  "transformer FLOPs");
+  }
+  return checks.report();
+}

@@ -1,0 +1,106 @@
+// Figure 7 (+ §4.3 prose): per-GPU memory of 1.7B and 7B models under
+// tensor parallelism, normalised to the full application's peak; the
+// token+aggregation share stays put as TP grows. Includes the FSDP-only
+// feasibility frontier quoted in §4.3/§6.1. Batches: 21 (1.7B family),
+// 26 (7B family) — see EXPERIMENTS.md.
+#include "bench_util.hpp"
+#include "hw/memory_model.hpp"
+
+namespace {
+using namespace dchag;
+using namespace dchag::hw;
+}  // namespace
+
+int main() {
+  bench::header("Figure 7", "TP memory per GPU (1.7B, 7B) + FSDP frontier");
+  const MachineSpec frontier = MachineSpec::frontier();
+  bench::ShapeChecks checks;
+
+  struct Case {
+    const char* preset;
+    Index batch;
+    Index channels;
+  };
+  const Case cases[] = {{"1.7B", 21, 512},
+                        {"1.7B", 21, 1024},
+                        {"7B", 26, 256},
+                        {"7B", 26, 512}};
+
+  for (const Case& c : cases) {
+    const ModelConfig cfg = ModelConfig::preset(c.preset);
+    bench::section(std::string(c.preset) + " @ " +
+                   std::to_string(c.channels) + " channels (batch " +
+                   std::to_string(c.batch) + ")");
+    std::printf("%6s %12s %12s %10s %6s\n", "tp", "total(GB)", "tok+agg(GB)",
+                "frac", "fits");
+    for (int tp : {1, 2, 4, 8, 16}) {
+      Workload w{c.batch, c.channels, true};
+      const auto m = estimate_memory(cfg, w, {tp, 1, 1}, DchagSpec::off());
+      const double ta = m.total_gb() * m.token_agg_fraction();
+      std::printf("%6d %12.1f %12.1f %10.2f %6s\n", tp, m.total_gb(), ta,
+                  m.token_agg_fraction(),
+                  fits(m, frontier) ? "yes" : "OOM");
+    }
+  }
+
+  bench::section("FSDP-only feasibility frontier (§4.3, §6.1)");
+  struct FsdpCase {
+    const char* preset;
+    Index batch;
+    Index channels;
+    int shards;
+    bool expect_fit;
+    const char* claim;
+  };
+  const FsdpCase fsdp_cases[] = {
+      {"1.7B", 21, 256, 2, true, "1.7B/256ch fits on 2 GPUs with FSDP"},
+      {"7B", 26, 128, 8, true, "7B/128ch fits on one node with FSDP"},
+      {"7B", 26, 256, 8, false, "7B/256ch does NOT fit on one node (FSDP)"},
+      {"15B", 26, 64, 8, true, "15B/64ch fits on one node with FSDP"},
+      {"15B", 26, 128, 8, false, "15B/128ch does NOT fit (FSDP)"},
+      {"26B", 26, 64, 8, false, "26B does not fit on one node at all"},
+  };
+  std::printf("%6s %5s %9s %7s %10s %6s\n", "model", "ch", "shards", "batch",
+              "mem(GB)", "fits");
+  for (const FsdpCase& f : fsdp_cases) {
+    Workload w{f.batch, f.channels, true};
+    const auto m = estimate_memory(ModelConfig::preset(f.preset), w,
+                                   {1, f.shards, 1}, DchagSpec::off());
+    const bool ok = fits(m, frontier);
+    std::printf("%6s %5lld %9d %7lld %10.1f %6s\n", f.preset,
+                static_cast<long long>(f.channels), f.shards,
+                static_cast<long long>(f.batch), m.total_gb(),
+                ok ? "yes" : "OOM");
+    checks.expect(ok == f.expect_fit, f.claim);
+  }
+
+  // Fig. 7 headline claims.
+  {
+    const ModelConfig cfg = ModelConfig::preset("1.7B");
+    checks.expect(min_feasible_tp(cfg, {21, 512, true}, DchagSpec::off(),
+                                  frontier, 16) == 2,
+                  "1.7B/512ch needs exactly 2 GPUs under TP");
+    checks.expect(min_feasible_tp(cfg, {21, 1024, true}, DchagSpec::off(),
+                                  frontier, 16) == 8,
+                  "1.7B/1024ch needs a full node (8 GPUs) under TP");
+    const auto m = estimate_memory(cfg, {21, 1024, true}, {8, 1, 1},
+                                   DchagSpec::off());
+    checks.expect(m.token_agg_fraction() >= 0.5,
+                  "tokenization+aggregation is 50-90% of memory at high C");
+    // TP leaves tokenizer memory untouched.
+    const auto m2 = estimate_memory(cfg, {21, 1024, true}, {2, 1, 1},
+                                    DchagSpec::off());
+    checks.expect(m.tokenizer_act_gb == m2.tokenizer_act_gb,
+                  "TP does not reduce absolute tokenization memory");
+  }
+  {
+    const ModelConfig cfg = ModelConfig::preset("7B");
+    checks.expect(min_feasible_tp(cfg, {26, 256, true}, DchagSpec::off(),
+                                  frontier, 16) == 4,
+                  "7B/256ch fits on half a node (tp=4)");
+    checks.expect(min_feasible_tp(cfg, {26, 512, true}, DchagSpec::off(),
+                                  frontier, 16) == 16,
+                  "7B/512ch needs two nodes (tp=16)");
+  }
+  return checks.report();
+}

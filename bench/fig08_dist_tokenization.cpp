@@ -1,0 +1,63 @@
+// Figure 8: distributing only the tokenization across TP ranks (paper
+// §3.1). Bars per configuration: baseline tokenization+aggregation (blue),
+// baseline tokenization alone (red), distributed tokenization alone
+// (green), distributed tokenization + the full-token AllGather feeding the
+// monolithic aggregator (yellow). The AllGather negates the win at 512
+// channels and leaves only modest gains at 1024.
+#include "bench_util.hpp"
+#include "hw/memory_model.hpp"
+
+namespace {
+using namespace dchag;
+using namespace dchag::hw;
+
+double tok_only(const MemoryBreakdown& m) {
+  return m.tokenizer_state_gb + m.tokenizer_act_gb + m.input_act_gb;
+}
+double tok_agg(const MemoryBreakdown& m) {
+  return tok_only(m) + m.aggregation_state_gb + m.aggregation_act_gb +
+         m.gather_act_gb;
+}
+}  // namespace
+
+int main() {
+  bench::header("Figure 8",
+                "Distributed tokenization alone (1.7B, batch 21)");
+  const ModelConfig cfg = ModelConfig::preset("1.7B");
+  const MachineSpec frontier = MachineSpec::frontier();
+  bench::ShapeChecks checks;
+
+  std::printf("%6s %4s | %14s %14s | %14s %14s | %10s\n", "ch", "tp",
+              "base tok+agg", "base tok", "dist tok", "dist tok+agg",
+              "total Δ%%");
+  double delta512 = 0;
+  double delta1024 = 0;
+  for (Index channels : {512, 1024}) {
+    Workload w{21, channels, true};
+    const int tp =
+        min_feasible_tp(cfg, w, DchagSpec::off(), frontier, 16);
+    const auto base = estimate_memory(cfg, w, {tp, 1, 1}, DchagSpec::off());
+    const auto dist =
+        estimate_memory_distributed_tokenization(cfg, w, {tp, 1, 1});
+    const double delta =
+        100.0 * (base.total_gb() - dist.total_gb()) / base.total_gb();
+    std::printf("%6lld %4d | %14.1f %14.1f | %14.1f %14.1f | %+9.1f%%\n",
+                static_cast<long long>(channels), tp, tok_agg(base),
+                tok_only(base), tok_only(dist), tok_agg(dist), delta);
+    (channels == 512 ? delta512 : delta1024) = delta;
+
+    checks.expect(tok_only(dist) < tok_only(base),
+                  std::to_string(channels) +
+                      "ch: distributed tokenization alone saves memory "
+                      "(red vs green bars)");
+    checks.expect(tok_agg(dist) > 0.8 * tok_agg(base),
+                  std::to_string(channels) +
+                      "ch: the AllGather claws back most of the win "
+                      "(blue vs yellow bars)");
+  }
+  checks.expect(delta512 <= 1.0,
+                "512ch: no net improvement (paper: 'a drop in performance')");
+  checks.expect(delta1024 > delta512,
+                "1024ch: only modest improvements, better than 512ch");
+  return checks.report();
+}

@@ -1,0 +1,90 @@
+// Figure 9: D-CHAG gains per GPU over the TP-only baseline for a 1.7B
+// model across partial-aggregation configurations TreeN-{C,L}
+// (N in {0, 2, 4, 8}; Tree0 = one local aggregation layer). The paper's
+// "performance gain per GPU" tracks the per-GPU memory reduction (its
+// §6.1 discussion of the same metric is in memory terms); we report the
+// throughput change alongside.
+#include "bench_util.hpp"
+#include <map>
+
+#include "hw/perf_model.hpp"
+
+namespace {
+using namespace dchag;
+using namespace dchag::hw;
+using model::AggLayerKind;
+}  // namespace
+
+int main() {
+  bench::header("Figure 9", "D-CHAG gains vs tree depth (1.7B, batch 21)");
+  const ModelConfig cfg = ModelConfig::preset("1.7B");
+  const MachineSpec frontier = MachineSpec::frontier();
+  bench::ShapeChecks checks;
+
+  struct Gain {
+    double mem;
+    double tput;
+  };
+  // gains[channels][kind][treeN]
+  std::map<Index, std::map<char, std::map<Index, Gain>>> gains;
+
+  for (Index channels : {512, 1024}) {
+    Workload w{21, channels, true};
+    const int tp = min_feasible_tp(cfg, w, DchagSpec::off(), frontier, 16);
+    const auto base_mem =
+        estimate_memory(cfg, w, {tp, 1, 1}, DchagSpec::off());
+    const auto base_step =
+        estimate_step(cfg, w, {tp, 1, 1}, DchagSpec::off(), frontier);
+
+    bench::section(std::to_string(channels) + " channels on tp=" +
+                   std::to_string(tp) + " (baseline " +
+                   std::to_string(base_mem.total_gb()) + " GB)");
+    std::printf("%14s %12s %14s %14s\n", "config", "mem(GB)", "mem gain %",
+                "tput gain %");
+    for (AggLayerKind kind :
+         {AggLayerKind::kCrossAttention, AggLayerKind::kLinear}) {
+      for (Index tree : {0, 2, 4, 8}) {
+        const DchagSpec spec = DchagSpec::tree(tree == 0 ? 1 : tree, kind);
+        const auto mem = estimate_memory(cfg, w, {tp, 1, 1}, spec);
+        const auto step = estimate_step(cfg, w, {tp, 1, 1}, spec, frontier);
+        const double mem_gain =
+            100.0 * (base_mem.total_gb() - mem.total_gb()) /
+            base_mem.total_gb();
+        const double tput_gain =
+            100.0 * (step.sustained_tflops_per_gpu /
+                         base_step.sustained_tflops_per_gpu -
+                     1.0);
+        std::printf("%9s-Tree%lld %12.1f %+13.1f%% %+13.1f%%\n",
+                    kind == AggLayerKind::kLinear ? "D-CHAG-L" : "D-CHAG-C",
+                    static_cast<long long>(tree), mem.total_gb(), mem_gain,
+                    tput_gain);
+        gains[channels][kind == AggLayerKind::kLinear ? 'L' : 'C']
+             [tree] = {mem_gain, tput_gain};
+      }
+    }
+  }
+
+  // Paper Fig. 9 qualitative claims.
+  checks.expect(gains[1024]['C'][0].mem > 40.0,
+                "-C Tree0 @1024ch: large gain (paper: ~60%)");
+  checks.expect(gains[1024]['C'][0].mem > gains[512]['C'][0].mem,
+                "-C Tree0 gains grow with channel count");
+  checks.expect(gains[512]['C'][4].mem > gains[512]['C'][0].mem,
+                "deeper -C trees help at 512 channels");
+  const double spread1024 =
+      std::abs(gains[1024]['C'][8].mem - gains[1024]['C'][2].mem);
+  checks.expect(spread1024 < 10.0,
+                "-C gains roughly flat in depth at 1024 channels");
+  checks.expect(gains[512]['L'][0].mem > 0 && gains[1024]['L'][0].mem > 0,
+                "-L improves even with the shallow Tree0 at both sizes");
+  bool l_best = true;
+  for (Index tree : {2, 4, 8}) {
+    l_best = l_best &&
+             gains[512]['L'][0].mem >= gains[512]['L'][tree].mem - 1.0 &&
+             gains[1024]['L'][0].mem >= gains[1024]['L'][tree].mem - 1.0;
+  }
+  checks.expect(l_best, "-L Tree0 is the best overall configuration");
+  checks.expect(gains[512]['L'][0].mem > gains[512]['C'][0].mem,
+                "-L beats -C (fewer parameters, no quadratic scores)");
+  return checks.report();
+}

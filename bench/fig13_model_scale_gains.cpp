@@ -1,0 +1,78 @@
+// Figure 13: per-GPU gains of D-CHAG+TP over TP alone for 7B, 15B and 26B
+// models, in the regime where TP is necessary. The paper's bands: 7B
+// -L +30/70% and -C +10/60%, 15B >20/50%, 26B 10-30%; gains grow with the
+// channel count and shrink with model size. Batch 26 (see EXPERIMENTS.md).
+#include <map>
+
+#include "bench_util.hpp"
+#include "hw/perf_model.hpp"
+
+namespace {
+using namespace dchag;
+using namespace dchag::hw;
+using model::AggLayerKind;
+}  // namespace
+
+int main() {
+  bench::header("Figure 13",
+                "D-CHAG+TP vs TP alone across model sizes (batch 26)");
+  const MachineSpec frontier = MachineSpec::frontier();
+  bench::ShapeChecks checks;
+
+  struct Case {
+    const char* preset;
+    Index channels;
+    int tp;  // fixed GPU budget at which TP is necessary
+  };
+  const Case cases[] = {{"7B", 256, 16},  {"7B", 512, 16},
+                        {"15B", 128, 16}, {"15B", 256, 16},
+                        {"26B", 64, 16},  {"26B", 128, 16}};
+
+  // gains[preset][channels][kind] = memory gain %
+  std::map<std::string, std::map<Index, std::map<char, double>>> gains;
+
+  std::printf("%6s %5s %4s | %10s | %16s %16s\n", "model", "ch", "tp",
+              "base(GB)", "gain -L (mem%)", "gain -C (mem%)");
+  for (const Case& c : cases) {
+    const ModelConfig cfg = ModelConfig::preset(c.preset);
+    Workload w{26, c.channels, true};
+    const auto base = estimate_memory(cfg, w, {c.tp, 1, 1}, DchagSpec::off());
+    const bool base_fits = fits(base, frontier);
+    double gl = 0;
+    double gc = 0;
+    for (AggLayerKind kind :
+         {AggLayerKind::kLinear, AggLayerKind::kCrossAttention}) {
+      const auto d =
+          estimate_memory(cfg, w, {c.tp, 1, 1}, DchagSpec::tree(1, kind));
+      const double gain =
+          100.0 * (base.total_gb() - d.total_gb()) / base.total_gb();
+      (kind == AggLayerKind::kLinear ? gl : gc) = gain;
+      gains[c.preset][c.channels][kind == AggLayerKind::kLinear ? 'L' : 'C'] =
+          gain;
+    }
+    std::printf("%6s %5lld %4d | %9.1f%s | %+15.1f%% %+15.1f%%\n", c.preset,
+                static_cast<long long>(c.channels), c.tp, base.total_gb(),
+                base_fits ? " " : "*", gl, gc);
+  }
+  std::printf("(* = baseline exceeds GCD memory at this configuration)\n");
+
+  // Ordering claims from the paper.
+  checks.expect(gains["7B"][512]['L'] > gains["7B"][512]['C'],
+                "7B: linear partial layers beat cross-attention");
+  checks.expect(gains["7B"][512]['L'] > gains["7B"][256]['L'],
+                "7B: gains grow with the channel count");
+  checks.expect(gains["15B"][256]['L'] > gains["15B"][128]['L'],
+                "15B: gains grow with the channel count");
+  checks.expect(gains["26B"][128]['L'] > gains["26B"][64]['L'],
+                "26B: gains grow with the channel count");
+  checks.expect(gains["7B"][256]['L'] > gains["15B"][128]['L'] - 5.0 &&
+                    gains["15B"][128]['L'] > gains["26B"][64]['L'],
+                "gains shrink as the transformer grows (7B > 15B > 26B)");
+  checks.expect(gains["7B"][512]['L'] >= 50.0 &&
+                    gains["7B"][512]['L'] <= 85.0,
+                "7B/512ch -L gain in the paper's high band (~70%)");
+  checks.expect(gains["26B"][64]['L'] >= 8.0 &&
+                    gains["26B"][64]['L'] <= 40.0,
+                "26B gain in the paper's 10-30% band");
+  return checks.report();
+}

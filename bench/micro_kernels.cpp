@@ -1,0 +1,108 @@
+// Microbenchmark (google-benchmark): tensor kernels and model building
+// blocks of the CPU substrate (matmul, softmax, attention fwd/bwd,
+// aggregation units). Characterises the simulator, not Frontier.
+#include <benchmark/benchmark.h>
+
+#include "model/aggregation.hpp"
+#include "model/tokenizer.hpp"
+#include "model/vit.hpp"
+
+namespace {
+
+using namespace dchag;
+using autograd::Variable;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+namespace ops = tensor::ops;
+
+void BM_Matmul(benchmark::State& state) {
+  const auto n = state.range(0);
+  Rng rng(1);
+  Tensor a = rng.normal_tensor(Shape{n, n});
+  Tensor b = rng.normal_tensor(Shape{n, n});
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_SoftmaxLastDim(benchmark::State& state) {
+  Rng rng(2);
+  Tensor a = rng.normal_tensor(Shape{64, state.range(0)});
+  for (auto _ : state) {
+    Tensor y = ops::softmax_lastdim(a);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SoftmaxLastDim)->Arg(128)->Arg(1024);
+
+void BM_SelfAttentionForward(benchmark::State& state) {
+  Rng rng(3);
+  model::MultiHeadSelfAttention attn(64, 4, rng);
+  Tensor x = rng.normal_tensor(Shape{2, state.range(0), 64});
+  for (auto _ : state) {
+    Variable y = attn.forward(Variable::input(x));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_SelfAttentionForward)->Arg(16)->Arg(64);
+
+void BM_SelfAttentionBackward(benchmark::State& state) {
+  Rng rng(4);
+  model::MultiHeadSelfAttention attn(64, 4, rng);
+  Tensor x = rng.normal_tensor(Shape{2, state.range(0), 64});
+  for (auto _ : state) {
+    attn.zero_grad();
+    Variable y = attn.forward(Variable::input(x));
+    autograd::sum_all(y).backward();
+    benchmark::DoNotOptimize(attn.parameters().front().grad().data());
+  }
+}
+BENCHMARK(BM_SelfAttentionBackward)->Arg(16)->Arg(64);
+
+void BM_CrossAttentionAggregator(benchmark::State& state) {
+  const auto channels = state.range(0);
+  Rng rng(5);
+  model::CrossAttentionAggregator agg(32, 4, channels,
+                                      model::QueryMode::kChannelTokens, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 16, channels, 32});
+  for (auto _ : state) {
+    Variable y = agg.forward(Variable::input(tokens));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_CrossAttentionAggregator)->Arg(8)->Arg(32)->Arg(64);
+
+void BM_AggregationTreeVsFlat(benchmark::State& state) {
+  // Tree over 64 channels with width state.range(0).
+  const auto width = state.range(0);
+  model::ModelConfig cfg = model::ModelConfig::tiny();
+  Rng rng(6);
+  model::AggregationTree tree(cfg, model::AggLayerKind::kCrossAttention, 64,
+                              width, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 16, 64, cfg.embed_dim});
+  for (auto _ : state) {
+    Variable y = tree.forward(Variable::input(tokens));
+    benchmark::DoNotOptimize(y.value().data());
+  }
+}
+BENCHMARK(BM_AggregationTreeVsFlat)->Arg(64)->Arg(16)->Arg(4);
+
+void BM_PatchTokenizer(benchmark::State& state) {
+  model::ModelConfig cfg = model::ModelConfig::tiny();
+  Rng rng(7);
+  model::PatchTokenizer tok(cfg, state.range(0), rng);
+  Tensor img = rng.normal_tensor(Shape{2, state.range(0), 16, 16});
+  for (auto _ : state) {
+    Variable t = tok.forward(img);
+    benchmark::DoNotOptimize(t.value().data());
+  }
+}
+BENCHMARK(BM_PatchTokenizer)->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

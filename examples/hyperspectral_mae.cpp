@@ -1,0 +1,109 @@
+// Hyperspectral masked-autoencoder pretraining with Hybrid D-CHAG — the
+// paper's §5.1 application end-to-end: 4 simulated ranks arranged as
+// 2 D-CHAG groups x 2 data-parallel replicas, training a small MAE on
+// synthetic VNIR plant scenes (the APPL-data substitute), then writing
+// pseudo-RGB original/reconstruction images.
+//
+// Run:  ./build/examples/hyperspectral_mae
+#include <cstdio>
+
+#include "core/dchag_frontend.hpp"
+#include "data/hyperspectral.hpp"
+#include "parallel/data_parallel.hpp"
+#include "train/loops.hpp"
+
+using namespace dchag;
+using tensor::Index;
+using tensor::Tensor;
+
+namespace {
+constexpr Index kChannels = 16;  // scaled stand-in for the 500 APPL bands
+constexpr Index kSteps = 30;
+constexpr Index kBatch = 2;
+}  // namespace
+
+int main() {
+  model::ModelConfig cfg = model::ModelConfig::tiny();
+  data::HyperspectralConfig hc;
+  hc.channels = kChannels;
+  hc.height = 16;
+  hc.width = 16;
+
+  // Per-replica data streams (DP replicas see different scenes).
+  std::vector<std::vector<Tensor>> replica_batches;
+  for (int replica = 0; replica < 2; ++replica) {
+    data::HyperspectralGenerator gen(hc, 1000 + replica);
+    std::vector<Tensor> batches;
+    for (Index i = 0; i < kSteps; ++i)
+      batches.push_back(gen.sample_batch(kBatch));
+    replica_batches.push_back(std::move(batches));
+  }
+
+  std::printf("training MAE on %lld-band synthetic hyperspectral scenes\n",
+              static_cast<long long>(kChannels));
+  std::printf("layout: 4 ranks = 2 D-CHAG groups x 2 DP replicas\n\n");
+
+  comm::World world(4);
+  world.run([&](comm::Communicator& comm) {
+    comm::Communicator dchag_group = comm.split(comm.rank() / 2);
+    comm::Communicator dp_group = comm.split(comm.rank() % 2);
+    const int replica = comm.rank() / 2;
+
+    tensor::Rng rng(2030);
+    auto mae = core::make_dchag_mae(
+        cfg, kChannels, dchag_group,
+        {/*tree_units=*/1, model::AggLayerKind::kLinear}, rng);
+    auto params = mae->parameters();
+    train::Adam opt(params, {.lr = 2e-3f});
+
+    for (Index step = 0; step < kSteps; ++step) {
+      const Tensor& full =
+          replica_batches[static_cast<std::size_t>(replica)]
+                         [static_cast<std::size_t>(step)];
+      Tensor local = mae->frontend().select_input(full);
+      tensor::Rng mask_rng(7000 + static_cast<std::uint64_t>(step));
+      Tensor mask = model::MaeModel::make_mask(kBatch, cfg.seq_len(), 0.75f,
+                                               mask_rng);
+      opt.zero_grad();
+      auto out = mae->forward(local, full, mask);
+      out.loss.backward();
+      parallel::all_reduce_gradients(params, dp_group);
+      opt.step();
+      if (comm.rank() == 0 && step % 5 == 0) {
+        std::printf("step %3lld  masked-MSE loss %.4f\n",
+                    static_cast<long long>(step),
+                    out.loss.value().item());
+      }
+    }
+
+    // Reconstruction render. The forward pass is collective (it contains
+    // the D-CHAG AllGather), so every rank runs it; rank 0 writes files.
+    const Tensor& sample = replica_batches[0][0];
+    tensor::Rng mask_rng(1);
+    Tensor mask = model::MaeModel::make_mask(kBatch, cfg.seq_len(), 0.75f,
+                                             mask_rng);
+    auto out =
+        mae->forward(mae->frontend().select_input(sample), sample, mask);
+    if (comm.rank() == 0) {
+      Tensor recon = model::unpatchify(
+          model::from_prediction_layout(out.pred.value(), kChannels,
+                                        cfg.patch_size),
+          cfg.patch_size, hc.height, hc.width);
+      data::HyperspectralGenerator bands(hc, 1);
+      const Index r = bands.band_of_wavelength(650.0f);
+      const Index g = bands.band_of_wavelength(550.0f);
+      const Index b = bands.band_of_wavelength(450.0f);
+      data::write_pseudo_rgb_ppm(
+          "mae_original.ppm",
+          sample.slice0(0, 1).reshape({kChannels, hc.height, hc.width}), r,
+          g, b);
+      data::write_pseudo_rgb_ppm(
+          "mae_reconstruction.ppm",
+          recon.slice0(0, 1).reshape({kChannels, hc.height, hc.width}), r, g,
+          b);
+      std::printf("\nwrote mae_original.ppm and mae_reconstruction.ppm "
+                  "(pseudo-RGB, as in paper Fig. 11)\n");
+    }
+  });
+  return 0;
+}

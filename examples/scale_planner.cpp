@@ -1,0 +1,74 @@
+// Capacity-planning CLI: for a model preset, channel count and GPU
+// budget, enumerate every feasible (TP, FSDP, DP) x D-CHAG configuration
+// on Frontier and rank them by predicted sustained throughput — the §6.2
+// decision procedure as a tool.
+//
+// Usage: scale_planner [model] [channels] [gpus]
+//        scale_planner 7B 500 16
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/planner.hpp"
+
+using namespace dchag;
+
+int main(int argc, char** argv) {
+  core::PlanRequest req;
+  req.cfg = hw::ModelConfig::preset(argc > 1 ? argv[1] : "7B");
+  req.channels = argc > 2 ? std::atoll(argv[2]) : 500;
+  req.gpus = argc > 3 ? std::atoi(argv[3]) : 16;
+
+  std::printf("planning %s with %lld channels on %d Frontier GPUs (%d "
+              "nodes)\n\n",
+              req.cfg.name.c_str(), static_cast<long long>(req.channels),
+              req.gpus, (req.gpus + 7) / 8);
+
+  auto plans = core::Planner::enumerate(req);
+  if (plans.empty()) {
+    std::printf("no feasible configuration — not even batch 1 fits.\n");
+    return 1;
+  }
+  std::sort(plans.begin(), plans.end(),
+            [](const core::Plan& a, const core::Plan& b) {
+              return a.throughput_per_node() > b.throughput_per_node();
+            });
+
+  std::printf("%-4s %-34s %7s %9s %13s %10s\n", "#", "configuration",
+              "batch", "mem(GB)", "TFLOPs/node", "comm(ms)");
+  const std::size_t show = std::min<std::size_t>(plans.size(), 12);
+  for (std::size_t i = 0; i < show; ++i) {
+    const core::Plan& p = plans[i];
+    char config[64];
+    std::snprintf(config, sizeof(config), "tp=%d fsdp=%d dp=%d %s",
+                  p.layout.tp, p.layout.fsdp, p.layout.dp,
+                  p.dchag.enabled
+                      ? (std::string("D-CHAG-") +
+                         model::to_string(p.dchag.kind) + "-Tree" +
+                         std::to_string(p.dchag.tree_units <= 1
+                                            ? 0
+                                            : p.dchag.tree_units))
+                            .c_str()
+                      : "baseline");
+    std::printf("%-4zu %-34s %7lld %9.1f %13.1f %10.2f\n", i + 1, config,
+                static_cast<long long>(p.batch_per_gpu),
+                p.memory.total_gb(), p.step.sustained_tflops_per_node,
+                1e3 * p.step.comm_s());
+  }
+  if (plans.size() > show)
+    std::printf("... and %zu more feasible configurations\n",
+                plans.size() - show);
+
+  const core::Plan& best = plans.front();
+  std::printf("\nrecommended: %s\n", best.describe().c_str());
+  std::printf("memory breakdown: tokenizer %.1f GB | aggregation %.1f GB | "
+              "transformer %.1f GB | activations %.1f GB\n",
+              best.memory.tokenizer_state_gb,
+              best.memory.aggregation_state_gb,
+              best.memory.transformer_state_gb,
+              best.memory.input_act_gb + best.memory.tokenizer_act_gb +
+                  best.memory.aggregation_act_gb +
+                  best.memory.gather_act_gb +
+                  best.memory.transformer_act_gb);
+  return 0;
+}

@@ -1,0 +1,90 @@
+// Weather forecasting with D-CHAG — the paper's §5.2 application: an
+// image-to-image (ClimaX-style) model predicting the next state of an
+// ERA5-like multi-level atmosphere, trained under D-CHAG on 4 simulated
+// ranks and evaluated with per-variable RMSE (Z500 / T850 / U10).
+//
+// Run:  ./build/examples/weather_forecast
+#include <cstdio>
+
+#include "core/dchag_frontend.hpp"
+#include "data/weather.hpp"
+#include "train/loops.hpp"
+
+using namespace dchag;
+using tensor::Index;
+
+int main() {
+  data::WeatherConfig wc;
+  wc.num_variables = 3;
+  wc.levels_per_variable = 4;
+  wc.surface_variables = 4;  // 16 channels
+  wc.height = 16;
+  wc.width = 32;
+  data::WeatherGenerator gen(wc, 99);
+
+  model::ModelConfig cfg;
+  cfg.embed_dim = 32;
+  cfg.num_layers = 2;
+  cfg.num_heads = 4;
+  cfg.patch_size = 4;
+  cfg.image_h = wc.height;
+  cfg.image_w = wc.width;
+  cfg.validate();
+
+  constexpr Index kSteps = 30;
+  std::vector<data::WeatherGenerator::Pair> train_pairs;
+  std::vector<data::WeatherGenerator::Pair> test_pairs;
+  for (Index i = 0; i < kSteps; ++i)
+    train_pairs.push_back(gen.sample_pair(2, /*lead=*/1.0f));
+  for (Index i = 0; i < 4; ++i) test_pairs.push_back(gen.sample_pair(2, 1.0f));
+
+  std::printf("forecasting %lld channels (%lld vars x %lld levels + %lld "
+              "surface) on a %lldx%lld grid\n\n",
+              static_cast<long long>(wc.channels()),
+              static_cast<long long>(wc.num_variables),
+              static_cast<long long>(wc.levels_per_variable),
+              static_cast<long long>(wc.surface_variables),
+              static_cast<long long>(wc.height),
+              static_cast<long long>(wc.width));
+
+  comm::World world(4);
+  world.run([&](comm::Communicator& comm) {
+    tensor::Rng rng(777);
+    auto fm = core::make_dchag_forecast(
+        cfg, wc.channels(), comm,
+        {/*tree_units=*/1, model::AggLayerKind::kCrossAttention}, rng);
+
+    train::LoopConfig lc;
+    lc.steps = kSteps;
+    lc.adam.lr = 2e-3f;
+    const train::TrainCurve curve = train::train_forecast(
+        *fm, lc, [&](Index step) {
+          const auto& p = train_pairs[static_cast<std::size_t>(step)];
+          return std::make_pair(p.now, p.future);
+        });
+
+    const auto rmse = train::evaluate_forecast_rmse(
+        *fm, cfg.patch_size,
+        [&](Index i) {
+          const auto& p = test_pairs[static_cast<std::size_t>(i)];
+          return std::make_pair(p.now, p.future);
+        },
+        4);
+
+    if (comm.rank() == 0) {
+      std::printf("training loss: first %.4f -> last %.4f\n",
+                  curve.losses.front(), curve.tail_mean(5));
+      std::printf("\ntest RMSE per evaluation variable:\n");
+      for (auto [name, ch] :
+           {std::pair<const char*, Index>{"Z500", gen.z500_channel()},
+            {"T850", gen.t850_channel()},
+            {"U10", gen.u10_channel()}}) {
+        std::printf("  %-5s (channel %2lld, %s): %.4f\n", name,
+                    static_cast<long long>(ch),
+                    gen.channel_name(ch).c_str(),
+                    rmse[static_cast<std::size_t>(ch)]);
+      }
+    }
+  });
+  return 0;
+}

@@ -1,0 +1,491 @@
+#include "comm/communicator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <thread>
+
+namespace dchag::comm {
+
+namespace {
+
+/// Contiguous chunk layout used by ring and scatter collectives: element
+/// counts per part differ by at most one when n % parts != 0.
+struct Chunk {
+  std::int64_t offset;
+  std::int64_t len;
+};
+
+std::vector<Chunk> make_chunks(std::int64_t n, int parts) {
+  std::vector<Chunk> out(static_cast<std::size_t>(parts));
+  const std::int64_t base = n / parts;
+  const std::int64_t rem = n % parts;
+  std::int64_t off = 0;
+  for (int i = 0; i < parts; ++i) {
+    const std::int64_t len = base + (i < rem ? 1 : 0);
+    out[static_cast<std::size_t>(i)] = {off, len};
+    off += len;
+  }
+  return out;
+}
+
+constexpr std::uint64_t bytes_of_count(std::size_t n) {
+  return static_cast<std::uint64_t>(n) * sizeof(float);
+}
+
+}  // namespace
+
+namespace detail {
+
+GroupState::GroupState(int size_in, Topology topo)
+    : size(size_in),
+      topology(std::move(topo)),
+      send_slots(static_cast<std::size_t>(size_in), nullptr),
+      recv_slots(static_cast<std::size_t>(size_in), nullptr),
+      count_slots(static_cast<std::size_t>(size_in), 0),
+      barrier(size_in) {
+  DCHAG_CHECK(size_in > 0, "communicator size must be positive");
+  DCHAG_CHECK(topology.size() == size_in,
+              "topology size " << topology.size() << " != group size "
+                               << size_in);
+}
+
+}  // namespace detail
+
+void reduce_into(std::span<float> dst, std::span<const float> src,
+                 ReduceOp op) {
+  DCHAG_CHECK(dst.size() == src.size(), "reduce_into size mismatch");
+  switch (op) {
+    case ReduceOp::kSum:
+    case ReduceOp::kAvg:  // averaging is a post-scale by the caller
+      for (std::size_t i = 0; i < dst.size(); ++i) dst[i] += src[i];
+      break;
+    case ReduceOp::kMax:
+      for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = std::max(dst[i], src[i]);
+      break;
+    case ReduceOp::kMin:
+      for (std::size_t i = 0; i < dst.size(); ++i)
+        dst[i] = std::min(dst[i], src[i]);
+      break;
+  }
+}
+
+void Communicator::barrier() {
+  stats_.record(CollectiveKind::kBarrier, 0);
+  state_->barrier.arrive_and_wait();
+}
+
+// ----- AllReduce -------------------------------------------------------------
+
+void Communicator::all_reduce(std::span<float> data, ReduceOp op,
+                              Algorithm alg) {
+  stats_.record(CollectiveKind::kAllReduce, bytes_of_count(data.size()));
+  if (size() == 1) {
+    if (op == ReduceOp::kAvg) { /* average of one value is itself */ }
+    return;
+  }
+  switch (alg) {
+    case Algorithm::kAuto:
+    case Algorithm::kDirect:
+      all_reduce_direct(data, op);
+      break;
+    case Algorithm::kRing:
+      all_reduce_ring(data, op);
+      break;
+    case Algorithm::kHierarchical:
+      all_reduce_hierarchical(data, op);
+      break;
+  }
+  if (op == ReduceOp::kAvg) {
+    const float inv = 1.0f / static_cast<float>(size());
+    for (float& x : data) x *= inv;
+  }
+}
+
+void Communicator::all_reduce_direct(std::span<float> data, ReduceOp op) {
+  auto& st = *state_;
+  st.send_slots[static_cast<std::size_t>(rank_)] = data.data();
+  st.count_slots[static_cast<std::size_t>(rank_)] =
+      static_cast<std::int64_t>(data.size());
+  st.barrier.arrive_and_wait();
+  std::vector<float> temp(data.begin(), data.end());
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    DCHAG_CHECK(st.count_slots[static_cast<std::size_t>(r)] ==
+                    static_cast<std::int64_t>(data.size()),
+                "all_reduce size mismatch across ranks");
+    reduce_into(temp,
+                {st.send_slots[static_cast<std::size_t>(r)], data.size()},
+                op);
+  }
+  st.barrier.arrive_and_wait();  // all reads done before anyone writes
+  std::copy(temp.begin(), temp.end(), data.begin());
+  st.barrier.arrive_and_wait();  // writes done before buffers are reused
+}
+
+void Communicator::all_reduce_ring(std::span<float> data, ReduceOp op) {
+  auto& st = *state_;
+  const int P = size();
+  const auto chunks = make_chunks(static_cast<std::int64_t>(data.size()), P);
+  st.recv_slots[static_cast<std::size_t>(rank_)] = data.data();
+  st.barrier.arrive_and_wait();
+  const int left = (rank_ - 1 + P) % P;
+  float* left_buf = st.recv_slots[static_cast<std::size_t>(left)];
+  // Reduce-scatter phase: after step s, the chunk received at step s has
+  // s+2 contributions; after P-1 steps rank r owns complete chunk (r+1)%P.
+  for (int s = 0; s < P - 1; ++s) {
+    const int idx = ((rank_ - s - 1) % P + P) % P;
+    const auto& c = chunks[static_cast<std::size_t>(idx)];
+    reduce_into({data.data() + c.offset, static_cast<std::size_t>(c.len)},
+                {left_buf + c.offset, static_cast<std::size_t>(c.len)}, op);
+    st.barrier.arrive_and_wait();
+  }
+  // All-gather phase: complete chunks travel around the ring.
+  for (int s = 0; s < P - 1; ++s) {
+    const int idx = ((rank_ - s) % P + P) % P;
+    const auto& c = chunks[static_cast<std::size_t>(idx)];
+    std::memcpy(data.data() + c.offset, left_buf + c.offset,
+                static_cast<std::size_t>(c.len) * sizeof(float));
+    st.barrier.arrive_and_wait();
+  }
+}
+
+void Communicator::all_reduce_hierarchical(std::span<float> data,
+                                           ReduceOp op) {
+  auto& st = *state_;
+  const Topology& topo = st.topology;
+  const int my_node = topo.node_of(rank_);
+  int leader = rank_;
+  for (int r = 0; r < size(); ++r) {
+    if (topo.node_of(r) == my_node) {
+      leader = r;
+      break;
+    }
+  }
+  const bool is_leader = leader == rank_;
+
+  st.recv_slots[static_cast<std::size_t>(rank_)] = data.data();
+  st.barrier.arrive_and_wait();
+
+  // Phase 1: each leader reduces its node's members.
+  std::vector<float> temp;
+  if (is_leader) {
+    temp.assign(data.begin(), data.end());
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_ || topo.node_of(r) != my_node) continue;
+      reduce_into(temp,
+                  {st.recv_slots[static_cast<std::size_t>(r)], data.size()},
+                  op);
+    }
+    st.send_slots[static_cast<std::size_t>(rank_)] = temp.data();
+  }
+  st.barrier.arrive_and_wait();
+
+  // Phase 2: leaders reduce across nodes into a private buffer.
+  std::vector<float> final_buf;
+  if (is_leader) {
+    final_buf = temp;
+    for (int r = 0; r < size(); ++r) {
+      if (r == rank_) continue;
+      int r_leader = -1;
+      for (int q = 0; q < size(); ++q) {
+        if (topo.node_of(q) == topo.node_of(r)) {
+          r_leader = q;
+          break;
+        }
+      }
+      if (r != r_leader || topo.node_of(r) == my_node) continue;
+      reduce_into(final_buf,
+                  {st.send_slots[static_cast<std::size_t>(r)], data.size()},
+                  op);
+    }
+  }
+  st.barrier.arrive_and_wait();
+
+  // Phase 3: leaders publish; members copy from their leader.
+  if (is_leader) std::copy(final_buf.begin(), final_buf.end(), data.begin());
+  st.barrier.arrive_and_wait();
+  if (!is_leader) {
+    const float* src = st.recv_slots[static_cast<std::size_t>(leader)];
+    std::memcpy(data.data(), src, data.size() * sizeof(float));
+  }
+  st.barrier.arrive_and_wait();
+}
+
+// ----- AllGather -------------------------------------------------------------
+
+void Communicator::all_gather(std::span<const float> send,
+                              std::span<float> recv, Algorithm alg) {
+  DCHAG_CHECK(recv.size() == send.size() * static_cast<std::size_t>(size()),
+              "all_gather: recv size " << recv.size() << " != send "
+                                       << send.size() << " * " << size());
+  stats_.record(CollectiveKind::kAllGather, bytes_of_count(recv.size()));
+  if (size() == 1) {
+    std::copy(send.begin(), send.end(), recv.begin());
+    return;
+  }
+  switch (alg) {
+    case Algorithm::kAuto:
+    case Algorithm::kDirect:
+    case Algorithm::kHierarchical:  // in-process: same data path as direct
+      all_gather_direct(send, recv);
+      break;
+    case Algorithm::kRing:
+      all_gather_ring(send, recv);
+      break;
+  }
+}
+
+void Communicator::all_gather_direct(std::span<const float> send,
+                                     std::span<float> recv) {
+  auto& st = *state_;
+  st.send_slots[static_cast<std::size_t>(rank_)] = send.data();
+  st.count_slots[static_cast<std::size_t>(rank_)] =
+      static_cast<std::int64_t>(send.size());
+  st.barrier.arrive_and_wait();
+  const std::size_t n = send.size();
+  for (int r = 0; r < size(); ++r) {
+    DCHAG_CHECK(st.count_slots[static_cast<std::size_t>(r)] ==
+                    static_cast<std::int64_t>(n),
+                "all_gather size mismatch across ranks");
+    std::memcpy(recv.data() + static_cast<std::size_t>(r) * n,
+                st.send_slots[static_cast<std::size_t>(r)],
+                n * sizeof(float));
+  }
+  st.barrier.arrive_and_wait();  // senders keep buffers alive until here
+}
+
+void Communicator::all_gather_ring(std::span<const float> send,
+                                   std::span<float> recv) {
+  auto& st = *state_;
+  const int P = size();
+  const std::size_t n = send.size();
+  std::memcpy(recv.data() + static_cast<std::size_t>(rank_) * n, send.data(),
+              n * sizeof(float));
+  st.recv_slots[static_cast<std::size_t>(rank_)] = recv.data();
+  st.barrier.arrive_and_wait();
+  const int left = (rank_ - 1 + P) % P;
+  const float* left_buf = st.recv_slots[static_cast<std::size_t>(left)];
+  for (int s = 0; s < P - 1; ++s) {
+    const int idx = ((rank_ - s - 1) % P + P) % P;
+    std::memcpy(recv.data() + static_cast<std::size_t>(idx) * n,
+                left_buf + static_cast<std::size_t>(idx) * n,
+                n * sizeof(float));
+    st.barrier.arrive_and_wait();
+  }
+}
+
+// ----- ReduceScatter ---------------------------------------------------------
+
+void Communicator::reduce_scatter(std::span<const float> send,
+                                  std::span<float> recv, ReduceOp op,
+                                  Algorithm alg) {
+  DCHAG_CHECK(send.size() == recv.size() * static_cast<std::size_t>(size()),
+              "reduce_scatter: send size " << send.size() << " != recv "
+                                           << recv.size() << " * " << size());
+  stats_.record(CollectiveKind::kReduceScatter, bytes_of_count(send.size()));
+  if (size() == 1) {
+    std::copy(send.begin(), send.end(), recv.begin());
+    return;
+  }
+  switch (alg) {
+    case Algorithm::kAuto:
+    case Algorithm::kDirect:
+    case Algorithm::kHierarchical:
+      reduce_scatter_direct(send, recv, op);
+      break;
+    case Algorithm::kRing:
+      reduce_scatter_ring(send, recv, op);
+      break;
+  }
+  if (op == ReduceOp::kAvg) {
+    const float inv = 1.0f / static_cast<float>(size());
+    for (float& x : recv) x *= inv;
+  }
+}
+
+void Communicator::reduce_scatter_direct(std::span<const float> send,
+                                         std::span<float> recv,
+                                         ReduceOp op) {
+  auto& st = *state_;
+  st.send_slots[static_cast<std::size_t>(rank_)] = send.data();
+  st.barrier.arrive_and_wait();
+  const std::size_t n = recv.size();
+  const std::size_t my_off = static_cast<std::size_t>(rank_) * n;
+  std::memcpy(recv.data(), send.data() + my_off, n * sizeof(float));
+  for (int r = 0; r < size(); ++r) {
+    if (r == rank_) continue;
+    reduce_into(recv,
+                {st.send_slots[static_cast<std::size_t>(r)] + my_off, n},
+                op == ReduceOp::kAvg ? ReduceOp::kSum : op);
+  }
+  st.barrier.arrive_and_wait();
+}
+
+void Communicator::reduce_scatter_ring(std::span<const float> send,
+                                       std::span<float> recv, ReduceOp op) {
+  auto& st = *state_;
+  const int P = size();
+  // Workspace copy of send (ring mutates partial sums in place).
+  std::vector<float> work(send.begin(), send.end());
+  st.recv_slots[static_cast<std::size_t>(rank_)] = work.data();
+  st.barrier.arrive_and_wait();
+  const int left = (rank_ - 1 + P) % P;
+  float* left_buf = st.recv_slots[static_cast<std::size_t>(left)];
+  const std::size_t n = recv.size();
+  const ReduceOp eff = op == ReduceOp::kAvg ? ReduceOp::kSum : op;
+  for (int s = 0; s < P - 1; ++s) {
+    const int idx = ((rank_ - s - 1) % P + P) % P;
+    const std::size_t off = static_cast<std::size_t>(idx) * n;
+    reduce_into({work.data() + off, n}, {left_buf + off, n}, eff);
+    st.barrier.arrive_and_wait();
+  }
+  // Rank r now owns complete chunk (r+1)%P; chunk r lives on the left
+  // neighbour — one final shift delivers reduce_scatter semantics.
+  const std::size_t final_off = static_cast<std::size_t>(rank_) * n;
+  std::memcpy(recv.data(), left_buf + final_off, n * sizeof(float));
+  st.barrier.arrive_and_wait();  // keep workspaces alive until all copied
+}
+
+// ----- Broadcast / point-to-point -------------------------------------------
+
+void Communicator::broadcast(std::span<float> data, int root) {
+  DCHAG_CHECK(root >= 0 && root < size(), "broadcast root " << root);
+  stats_.record(CollectiveKind::kBroadcast, bytes_of_count(data.size()));
+  if (size() == 1) return;
+  auto& st = *state_;
+  if (rank_ == root)
+    st.send_slots[static_cast<std::size_t>(rank_)] = data.data();
+  st.barrier.arrive_and_wait();
+  if (rank_ != root) {
+    std::memcpy(data.data(), st.send_slots[static_cast<std::size_t>(root)],
+                data.size() * sizeof(float));
+  }
+  st.barrier.arrive_and_wait();
+}
+
+void Communicator::send(std::span<const float> data, int dst, int tag) {
+  DCHAG_CHECK(dst != rank_, "send to self");
+  stats_.record(CollectiveKind::kSendRecv, bytes_of_count(data.size()));
+  auto& st = *state_;
+  const auto key = std::make_tuple(rank_, dst, tag);
+  std::unique_lock lk(st.mail_mu);
+  st.mail_cv.wait(lk, [&] { return !st.mailbox.contains(key); });
+  st.mailbox[key] = {data.data(), static_cast<std::int64_t>(data.size()),
+                     false};
+  st.mail_cv.notify_all();
+  st.mail_cv.wait(lk, [&] {
+    auto it = st.mailbox.find(key);
+    return it != st.mailbox.end() && it->second.consumed;
+  });
+  st.mailbox.erase(key);
+  st.mail_cv.notify_all();
+}
+
+void Communicator::recv(std::span<float> data, int src, int tag) {
+  DCHAG_CHECK(src != rank_, "recv from self");
+  stats_.record(CollectiveKind::kSendRecv, bytes_of_count(data.size()));
+  auto& st = *state_;
+  const auto key = std::make_tuple(src, rank_, tag);
+  std::unique_lock lk(st.mail_mu);
+  st.mail_cv.wait(lk, [&] {
+    auto it = st.mailbox.find(key);
+    return it != st.mailbox.end() && !it->second.consumed;
+  });
+  auto& parcel = st.mailbox.at(key);
+  DCHAG_CHECK(parcel.count == static_cast<std::int64_t>(data.size()),
+              "recv size " << data.size() << " != sent " << parcel.count);
+  std::memcpy(data.data(), parcel.data, data.size() * sizeof(float));
+  parcel.consumed = true;
+  st.mail_cv.notify_all();
+}
+
+// ----- split -----------------------------------------------------------------
+
+Communicator Communicator::split(int color, int key) {
+  auto& st = *state_;
+  {
+    std::scoped_lock lk(st.split_mu);
+    if (st.split_colors.empty()) {
+      st.split_colors.assign(static_cast<std::size_t>(size()), 0);
+      st.split_keys.assign(static_cast<std::size_t>(size()), 0);
+    }
+    st.split_colors[static_cast<std::size_t>(rank_)] = color;
+    st.split_keys[static_cast<std::size_t>(rank_)] =
+        key >= 0 ? key : rank_;
+  }
+  st.barrier.arrive_and_wait();
+
+  // Determine this color's membership, ordered by (key, parent rank).
+  std::vector<int> members;
+  for (int r = 0; r < size(); ++r) {
+    if (st.split_colors[static_cast<std::size_t>(r)] == color)
+      members.push_back(r);
+  }
+  std::stable_sort(members.begin(), members.end(), [&](int a, int b) {
+    return st.split_keys[static_cast<std::size_t>(a)] <
+           st.split_keys[static_cast<std::size_t>(b)];
+  });
+  const bool is_creator = members.front() == rank_;
+  if (is_creator) {
+    auto child = std::make_shared<detail::GroupState>(
+        static_cast<int>(members.size()), st.topology.subgroup(members));
+    std::scoped_lock lk(st.split_mu);
+    st.split_groups[color] = std::move(child);
+    st.split_members[color] = members;
+  }
+  st.barrier.arrive_and_wait();
+
+  std::shared_ptr<detail::GroupState> child;
+  {
+    std::scoped_lock lk(st.split_mu);
+    child = st.split_groups.at(color);
+  }
+  int child_rank = -1;
+  for (std::size_t i = 0; i < members.size(); ++i) {
+    if (members[i] == rank_) child_rank = static_cast<int>(i);
+  }
+  DCHAG_CHECK(child_rank >= 0, "split: rank not in own color group");
+  st.barrier.arrive_and_wait();
+
+  // Reset rendezvous state for the next split call.
+  if (rank_ == 0) {
+    std::scoped_lock lk(st.split_mu);
+    st.split_groups.clear();
+    st.split_members.clear();
+    st.split_colors.clear();
+    st.split_keys.clear();
+  }
+  st.barrier.arrive_and_wait();
+  return Communicator(std::move(child), child_rank);
+}
+
+// ----- World -----------------------------------------------------------------
+
+World::World(int size, Topology topo) : size_(size), topo_(std::move(topo)) {
+  DCHAG_CHECK(size_ > 0, "world size must be positive");
+  DCHAG_CHECK(topo_.size() == size_, "topology/world size mismatch");
+}
+
+void World::run(const std::function<void(Communicator&)>& fn) {
+  auto state = std::make_shared<detail::GroupState>(size_, topo_);
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
+  threads.reserve(static_cast<std::size_t>(size_));
+  for (int r = 0; r < size_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Communicator comm(state, r);
+        fn(comm);
+      } catch (...) {
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+}  // namespace dchag::comm

@@ -1,0 +1,155 @@
+// In-process SPMD communication runtime.
+//
+// World spawns one std::thread per rank and hands each a Communicator bound
+// to a shared GroupState. Collectives move real data between rank-private
+// buffers through shared memory, with the same semantics (and, for kRing /
+// kHierarchical, the same step structure) as NCCL/RCCL collectives on a
+// GPU cluster. This is the executable substrate for every distributed
+// algorithm in the library; the analytic hw::CommCostModel prices the same
+// operations on Frontier's fabric for at-scale projections.
+//
+// Usage contract (as in MPI/NCCL): every rank of a communicator must call
+// the same sequence of collectives with compatible sizes; collectives are
+// rendezvous points and asymmetric call sequences deadlock.
+#pragma once
+
+#include <barrier>
+#include <condition_variable>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <tuple>
+#include <vector>
+
+#include "comm/types.hpp"
+#include "tensor/check.hpp"
+
+namespace dchag::comm {
+
+namespace detail {
+
+/// State shared by all ranks of one communicator group.
+struct GroupState {
+  GroupState(int size, Topology topo);
+
+  int size;
+  Topology topology;
+
+  // Pointer-exchange slots for the direct/ring/hierarchical algorithms.
+  std::vector<const float*> send_slots;
+  std::vector<float*> recv_slots;
+  std::vector<std::int64_t> count_slots;
+  std::barrier<> barrier;
+
+  // split() rendezvous.
+  std::mutex split_mu;
+  std::vector<int> split_colors;
+  std::vector<int> split_keys;
+  std::map<int, std::shared_ptr<GroupState>> split_groups;
+  std::map<int, std::vector<int>> split_members;  // color -> parent ranks
+
+  // Point-to-point mailbox (synchronous rendezvous send).
+  struct Parcel {
+    const float* data = nullptr;
+    std::int64_t count = 0;
+    bool consumed = false;
+  };
+  std::mutex mail_mu;
+  std::condition_variable mail_cv;
+  std::map<std::tuple<int, int, int>, Parcel> mailbox;  // (src,dst,tag)
+};
+
+}  // namespace detail
+
+/// Per-rank handle to a communicator group. Not copyable: a handle also
+/// carries this rank's traffic ledger (stats()), which callers inspect to
+/// verify communication properties (e.g. D-CHAG's communication-free
+/// backward pass).
+class Communicator {
+ public:
+  Communicator(std::shared_ptr<detail::GroupState> state, int rank)
+      : state_(std::move(state)), rank_(rank) {}
+
+  Communicator(const Communicator&) = delete;
+  Communicator& operator=(const Communicator&) = delete;
+  Communicator(Communicator&&) = default;
+  Communicator& operator=(Communicator&&) = default;
+
+  [[nodiscard]] int rank() const { return rank_; }
+  [[nodiscard]] int size() const { return state_->size; }
+  [[nodiscard]] const Topology& topology() const { return state_->topology; }
+
+  /// Synchronisation point for all ranks in the group.
+  void barrier();
+
+  /// In-place sum/avg/max/min across ranks; every rank ends with the result.
+  void all_reduce(std::span<float> data, ReduceOp op = ReduceOp::kSum,
+                  Algorithm alg = Algorithm::kAuto);
+
+  /// Gathers each rank's `send` into `recv` ordered by rank.
+  /// recv.size() must equal send.size() * size().
+  void all_gather(std::span<const float> send, std::span<float> recv,
+                  Algorithm alg = Algorithm::kAuto);
+
+  /// Reduces element-wise across ranks, scattering contiguous chunks:
+  /// rank r receives chunk r. send.size() must equal recv.size() * size().
+  void reduce_scatter(std::span<const float> send, std::span<float> recv,
+                      ReduceOp op = ReduceOp::kSum,
+                      Algorithm alg = Algorithm::kAuto);
+
+  /// Copies root's `data` to every rank (in place).
+  void broadcast(std::span<float> data, int root);
+
+  /// Synchronous (rendezvous) point-to-point send/recv with message tags.
+  void send(std::span<const float> data, int dst, int tag);
+  void recv(std::span<float> data, int src, int tag);
+
+  /// Collective: partitions ranks by `color` into child communicators.
+  /// Ranks are ordered within the child group by (key, parent rank);
+  /// key < 0 means "use parent rank order".
+  [[nodiscard]] Communicator split(int color, int key = -1);
+
+  [[nodiscard]] const CommStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = CommStats{}; }
+
+ private:
+  void all_reduce_direct(std::span<float> data, ReduceOp op);
+  void all_reduce_ring(std::span<float> data, ReduceOp op);
+  void all_reduce_hierarchical(std::span<float> data, ReduceOp op);
+  void all_gather_direct(std::span<const float> send, std::span<float> recv);
+  void all_gather_ring(std::span<const float> send, std::span<float> recv);
+  void reduce_scatter_direct(std::span<const float> send,
+                             std::span<float> recv, ReduceOp op);
+  void reduce_scatter_ring(std::span<const float> send, std::span<float> recv,
+                           ReduceOp op);
+
+  std::shared_ptr<detail::GroupState> state_;
+  int rank_;
+  CommStats stats_;
+};
+
+/// Owns the shared state for `size` ranks and runs SPMD functions.
+class World {
+ public:
+  explicit World(int size, Topology topo);
+  explicit World(int size) : World(size, Topology::flat(size)) {}
+
+  [[nodiscard]] int size() const { return size_; }
+
+  /// Runs `fn(comm)` on every rank in its own thread and joins. If any rank
+  /// throws, the first exception is rethrown after all threads finish.
+  /// Rank bodies must keep collective call sequences symmetric.
+  void run(const std::function<void(Communicator&)>& fn);
+
+ private:
+  int size_;
+  Topology topo_;
+};
+
+/// Accumulates the element-wise reduction `op` of `src` into `dst`.
+void reduce_into(std::span<float> dst, std::span<const float> src,
+                 ReduceOp op);
+
+}  // namespace dchag::comm

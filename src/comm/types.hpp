@@ -1,0 +1,120 @@
+// Shared vocabulary types for the SPMD communication runtime.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/check.hpp"
+
+namespace dchag::comm {
+
+enum class ReduceOp { kSum, kAvg, kMax, kMin };
+
+/// Collective algorithm selection. kDirect reads peer buffers through
+/// shared memory (lowest constant factor in-process); kRing is the
+/// bandwidth-optimal P-1-step algorithm NCCL/RCCL use on real fabrics;
+/// kHierarchical is the two-level intra-node-then-inter-node scheme the
+/// paper's hybrid layout exploits. All produce identical results.
+enum class Algorithm { kAuto, kDirect, kRing, kHierarchical };
+
+enum class CollectiveKind : std::size_t {
+  kAllReduce = 0,
+  kAllGather = 1,
+  kReduceScatter = 2,
+  kBroadcast = 3,
+  kSendRecv = 4,
+  kBarrier = 5,
+};
+inline constexpr std::size_t kNumCollectiveKinds = 6;
+
+[[nodiscard]] inline const char* to_string(CollectiveKind k) {
+  switch (k) {
+    case CollectiveKind::kAllReduce: return "AllReduce";
+    case CollectiveKind::kAllGather: return "AllGather";
+    case CollectiveKind::kReduceScatter: return "ReduceScatter";
+    case CollectiveKind::kBroadcast: return "Broadcast";
+    case CollectiveKind::kSendRecv: return "SendRecv";
+    case CollectiveKind::kBarrier: return "Barrier";
+  }
+  return "?";
+}
+
+/// Per-communicator-handle ledger of collective traffic. Tests use it to
+/// assert the paper's "no communication in the backward pass" property;
+/// benches use it to report communication volume per step.
+struct CommStats {
+  std::array<std::uint64_t, kNumCollectiveKinds> calls{};
+  std::array<std::uint64_t, kNumCollectiveKinds> payload_bytes{};
+
+  void record(CollectiveKind k, std::uint64_t bytes) {
+    calls[static_cast<std::size_t>(k)] += 1;
+    payload_bytes[static_cast<std::size_t>(k)] += bytes;
+  }
+  [[nodiscard]] std::uint64_t total_calls() const {
+    std::uint64_t n = 0;
+    for (auto c : calls) n += c;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t total_payload_bytes() const {
+    std::uint64_t n = 0;
+    for (auto b : payload_bytes) n += b;
+    return n;
+  }
+  [[nodiscard]] std::uint64_t calls_of(CollectiveKind k) const {
+    return calls[static_cast<std::size_t>(k)];
+  }
+  [[nodiscard]] std::uint64_t bytes_of(CollectiveKind k) const {
+    return payload_bytes[static_cast<std::size_t>(k)];
+  }
+};
+
+/// Physical placement of ranks onto nodes. Frontier exposes 8 logical GPUs
+/// (GCDs) per node; hierarchical collectives and the cost model both key
+/// off this mapping.
+class Topology {
+ public:
+  /// All ranks on one node (pure shared-memory view).
+  static Topology flat(int size) {
+    return Topology(std::vector<int>(static_cast<std::size_t>(size), 0));
+  }
+  /// Ranks packed onto nodes of `gpus_per_node` in rank order.
+  static Topology packed(int size, int gpus_per_node) {
+    DCHAG_CHECK(gpus_per_node > 0, "gpus_per_node must be positive");
+    std::vector<int> ids(static_cast<std::size_t>(size));
+    for (int r = 0; r < size; ++r) ids[static_cast<std::size_t>(r)] = r / gpus_per_node;
+    return Topology(std::move(ids));
+  }
+  explicit Topology(std::vector<int> node_ids)
+      : node_ids_(std::move(node_ids)) {}
+
+  [[nodiscard]] int size() const {
+    return static_cast<int>(node_ids_.size());
+  }
+  [[nodiscard]] int node_of(int rank) const {
+    return node_ids_[static_cast<std::size_t>(rank)];
+  }
+  [[nodiscard]] int num_nodes() const {
+    int mx = -1;
+    for (int id : node_ids_) mx = std::max(mx, id);
+    return mx + 1;
+  }
+  [[nodiscard]] bool same_node(int a, int b) const {
+    return node_of(a) == node_of(b);
+  }
+  [[nodiscard]] const std::vector<int>& node_ids() const { return node_ids_; }
+
+  /// Topology of a subgroup given its member parent-ranks.
+  [[nodiscard]] Topology subgroup(const std::vector<int>& parent_ranks) const {
+    std::vector<int> ids;
+    ids.reserve(parent_ranks.size());
+    for (int r : parent_ranks) ids.push_back(node_of(r));
+    return Topology(std::move(ids));
+  }
+
+ private:
+  std::vector<int> node_ids_;
+};
+
+}  // namespace dchag::comm

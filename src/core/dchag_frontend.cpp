@@ -1,0 +1,102 @@
+#include "core/dchag_frontend.hpp"
+
+namespace dchag::core {
+
+namespace ops = tensor::ops;
+using autograd::Variable;
+using tensor::Shape;
+using tensor::Tensor;
+
+DchagFrontEnd::DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
+                             Communicator& comm, const DchagOptions& opts,
+                             Rng& master_rng)
+    : cfg_(cfg), comm_(&comm) {
+  cfg_.validate();
+  Rng tok_rng = master_rng.fork(0xD0C);
+  tokenizer_ = std::make_unique<parallel::DistributedTokenizer>(
+      cfg_, total_channels, comm, tok_rng);
+  register_child(*tokenizer_);
+
+  const Index c_local = tokenizer_->local_channels();
+  const Index units =
+      std::min<Index>(std::max<Index>(opts.tree_units, 1), c_local);
+  Rng tree_rng = master_rng.fork(0x73EE);
+  tree_ = model::AggregationTree::with_units(cfg_, opts.partial_kind,
+                                             c_local, units, tree_rng,
+                                             "dchag.tree");
+  register_child(*tree_);
+
+  // Final shared cross-attention over one representation per rank. Its
+  // weights derive from the same master stream on every rank, so they are
+  // replicated by construction (asserted in tests via is_replicated).
+  Rng final_rng = master_rng.fork(0xF17A);
+  final_ = std::make_unique<model::CrossAttentionAggregator>(
+      cfg_.embed_dim, cfg_.num_heads, comm.size(), cfg_.query_mode,
+      final_rng, "dchag.final");
+  register_child(*final_);
+}
+
+Variable DchagFrontEnd::forward_local_partial(const Tensor& images) const {
+  DCHAG_CHECK(images.rank() == 4 && images.dim(1) == local_channels(),
+              "DchagFrontEnd expects the rank-local channel slice [B, "
+                  << local_channels() << ", H, W], got "
+                  << images.shape().to_string());
+  Variable tokens = tokenizer_->forward_local(images);      // [B, Cl, S, D]
+  Variable bscd = autograd::permute(tokens, {0, 2, 1, 3});  // [B, S, Cl, D]
+  return tree_->forward(bscd);                              // [B, S, D]
+}
+
+Variable DchagFrontEnd::forward(const Tensor& images) const {
+  const Index B = images.dim(0);
+  const Index S = cfg_.seq_len();
+  const Index D = cfg_.embed_dim;
+
+  // 1-2. Local tokenization + partial aggregation to one representation.
+  Variable partial = forward_local_partial(images);
+
+  // 3. AllGather one channel representation per rank. Downstream (the
+  // final aggregation onward) is replicated, so the backward is a local
+  // slice — no communication (paper §3.3).
+  Variable as_channel = autograd::reshape(partial, Shape{B, S, 1, D});
+  Variable gathered =
+      comm_->size() == 1
+          ? as_channel
+          : parallel::all_gather_cat(as_channel, *comm_, /*dim=*/2,
+                                     parallel::GatherBackward::kLocalSlice);
+
+  // 4. Final shared cross-attention over the P partial representations.
+  return final_->forward(gathered);  // [B, S, D]
+}
+
+Tensor DchagFrontEnd::slice_local_channels(const Tensor& full_images) const {
+  DCHAG_CHECK(full_images.rank() == 4 &&
+                  full_images.dim(1) == total_channels(),
+              "expected full [B, " << total_channels() << ", H, W], got "
+                                   << full_images.shape().to_string());
+  const Index c_local = local_channels();
+  return ops::slice(full_images, 1, comm_->rank() * c_local, c_local);
+}
+
+std::unique_ptr<model::MaeModel> make_dchag_mae(const ModelConfig& cfg,
+                                                Index total_channels,
+                                                Communicator& comm,
+                                                const DchagOptions& opts,
+                                                Rng& master_rng) {
+  auto frontend = std::make_unique<DchagFrontEnd>(cfg, total_channels, comm,
+                                                  opts, master_rng);
+  Rng task_rng = master_rng.fork(0x3AE);
+  return std::make_unique<model::MaeModel>(cfg, std::move(frontend),
+                                           total_channels, task_rng);
+}
+
+std::unique_ptr<model::ForecastModel> make_dchag_forecast(
+    const ModelConfig& cfg, Index total_channels, Communicator& comm,
+    const DchagOptions& opts, Rng& master_rng) {
+  auto frontend = std::make_unique<DchagFrontEnd>(cfg, total_channels, comm,
+                                                  opts, master_rng);
+  Rng task_rng = master_rng.fork(0x3AF);
+  return std::make_unique<model::ForecastModel>(cfg, std::move(frontend),
+                                                total_channels, task_rng);
+}
+
+}  // namespace dchag::core

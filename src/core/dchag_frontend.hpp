@@ -1,0 +1,99 @@
+// D-CHAG: Distributed Cross-Channel Hierarchical Aggregation (paper §3.3,
+// Fig. 4) — the paper's primary contribution.
+//
+// Each rank of the TP/D-CHAG group:
+//   1. tokenizes its contiguous slice of the input channels,
+//   2. reduces those tokens to ONE channel representation with a local
+//      partial-channel aggregation tree (TreeN of -C or -L units),
+//   3. AllGathers the single representation per rank (the only front-end
+//      communication, forward-only: the backward takes a local slice),
+//   4. applies the final cross-attention — whose weights are replicated
+//      across the group — over the P gathered representations.
+//
+// Downstream of step 4 every rank computes on identical data, so the
+// replicated parameters stay in sync without gradient synchronisation and
+// the rank-local tokenizer/tree parameters train on purely local
+// gradients: no communication in the backward pass.
+#pragma once
+
+#include "model/foundation.hpp"
+#include "parallel/dist_tokenizer.hpp"
+
+namespace dchag::core {
+
+using model::AggLayerKind;
+using model::Index;
+using model::ModelConfig;
+using parallel::Communicator;
+using tensor::Rng;
+
+struct DchagOptions {
+  /// Paper's TreeN: number of first-level units in the partial module
+  /// (0/1 = one unit over all local channels; Fig. 9's best is Tree0).
+  Index tree_units = 1;
+  /// -C (cross-attention) vs -L (linear) partial layers; the final shared
+  /// aggregation is always cross-attention (paper §3.3).
+  AggLayerKind partial_kind = AggLayerKind::kLinear;
+};
+
+class DchagFrontEnd : public model::FrontEnd {
+ public:
+  /// All ranks must construct with the same `master_rng` seed — the final
+  /// aggregation weights are derived from it and must be replicated.
+  DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
+                Communicator& comm, const DchagOptions& opts,
+                Rng& master_rng);
+
+  /// local_images: [B, C/P, H, W] (this rank's channels, rank order).
+  /// Returns [B, S, D], identical on every rank.
+  [[nodiscard]] autograd::Variable forward(
+      const tensor::Tensor& images) const override;
+
+  /// The rank-local stage only (tokenize + partial aggregation tree ->
+  /// this rank's single channel representation [B, S, D]). Contains no
+  /// collectives; useful for profiling the localised workload.
+  [[nodiscard]] autograd::Variable forward_local_partial(
+      const tensor::Tensor& images) const;
+
+  [[nodiscard]] Index local_channels() const override {
+    return tokenizer_->local_channels();
+  }
+  [[nodiscard]] Index total_channels() const {
+    return tokenizer_->total_channels();
+  }
+  [[nodiscard]] const model::AggregationTree& partial_tree() const {
+    return *tree_;
+  }
+  [[nodiscard]] const model::CrossAttentionAggregator& final_aggregator()
+      const {
+    return *final_;
+  }
+  [[nodiscard]] Communicator& communicator() const { return *comm_; }
+
+  /// The slice of the full input this rank consumes:
+  /// images[:, rank*C/P : (rank+1)*C/P].
+  [[nodiscard]] tensor::Tensor slice_local_channels(
+      const tensor::Tensor& full_images) const;
+  [[nodiscard]] tensor::Tensor select_input(
+      const tensor::Tensor& full_images) const override {
+    return slice_local_channels(full_images);
+  }
+
+ private:
+  ModelConfig cfg_;
+  Communicator* comm_;
+  std::unique_ptr<parallel::DistributedTokenizer> tokenizer_;
+  std::unique_ptr<model::AggregationTree> tree_;
+  std::unique_ptr<model::CrossAttentionAggregator> final_;
+};
+
+/// Convenience: full D-CHAG MAE / forecast models (front-end + replicated
+/// encoder and head) built from one master seed.
+[[nodiscard]] std::unique_ptr<model::MaeModel> make_dchag_mae(
+    const ModelConfig& cfg, Index total_channels, Communicator& comm,
+    const DchagOptions& opts, Rng& master_rng);
+[[nodiscard]] std::unique_ptr<model::ForecastModel> make_dchag_forecast(
+    const ModelConfig& cfg, Index total_channels, Communicator& comm,
+    const DchagOptions& opts, Rng& master_rng);
+
+}  // namespace dchag::core

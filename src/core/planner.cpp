@@ -1,0 +1,84 @@
+#include "core/planner.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dchag::core {
+
+using hw::DchagSpec;
+using hw::ParallelLayout;
+using model::AggLayerKind;
+using model::Index;
+
+std::string Plan::describe() const {
+  std::ostringstream os;
+  os << "tp=" << layout.tp << " fsdp=" << layout.fsdp << " dp=" << layout.dp;
+  if (dchag.enabled) {
+    os << " D-CHAG-" << model::to_string(dchag.kind) << "-Tree"
+       << (dchag.tree_units <= 1 ? 0 : dchag.tree_units);
+  } else {
+    os << " baseline";
+  }
+  os << " batch/gpu=" << batch_per_gpu << " mem=" << memory.total_gb()
+     << "GB tflops/node=" << step.sustained_tflops_per_node;
+  return os.str();
+}
+
+std::vector<Plan> Planner::enumerate(const PlanRequest& req) {
+  req.cfg.validate();
+  DCHAG_CHECK(req.gpus >= 1, "planner needs gpus >= 1");
+  std::vector<Plan> plans;
+
+  std::vector<DchagSpec> specs{DchagSpec::off()};
+  if (req.allow_dchag) {
+    for (Index units : {1, 2, 4, 8}) {
+      specs.push_back(DchagSpec::tree(units, AggLayerKind::kLinear));
+      specs.push_back(DchagSpec::tree(units, AggLayerKind::kCrossAttention));
+    }
+  }
+
+  for (int tp = 1; tp <= req.gpus; tp *= 2) {
+    if (req.cfg.num_heads % tp != 0) continue;
+    for (int fsdp = 1; tp * fsdp <= req.gpus; fsdp *= 2) {
+      const int dp = req.gpus / (tp * fsdp);
+      if (tp * fsdp * dp != req.gpus) continue;
+      for (const DchagSpec& spec : specs) {
+        if (spec.enabled &&
+            (tp == 1 || req.channels % tp != 0 ||
+             spec.tree_units > req.channels / tp)) {
+          continue;
+        }
+        ParallelLayout layout{tp, fsdp, dp};
+        Index batch = hw::max_batch_per_gpu(req.cfg, req.channels, layout,
+                                            spec, req.machine,
+                                            req.checkpoint_vit);
+        if (batch < 1) continue;
+        if (req.max_batch > 0) batch = std::min(batch, req.max_batch);
+        Plan plan;
+        plan.layout = layout;
+        plan.dchag = spec;
+        plan.batch_per_gpu = batch;
+        hw::Workload w{batch, req.channels, req.checkpoint_vit};
+        plan.memory = hw::estimate_memory(req.cfg, w, layout, spec);
+        plan.step = hw::estimate_step(req.cfg, w, layout, spec, req.machine);
+        plans.push_back(std::move(plan));
+      }
+    }
+  }
+  return plans;
+}
+
+Plan Planner::best(const PlanRequest& req) {
+  std::vector<Plan> plans = enumerate(req);
+  DCHAG_CHECK(!plans.empty(), "no feasible configuration for "
+                                  << req.cfg.name << " with "
+                                  << req.channels << " channels on "
+                                  << req.gpus << " GPUs");
+  return *std::max_element(plans.begin(), plans.end(),
+                           [](const Plan& a, const Plan& b) {
+                             return a.throughput_per_node() <
+                                    b.throughput_per_node();
+                           });
+}
+
+}  // namespace dchag::core

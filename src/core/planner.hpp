@@ -1,0 +1,46 @@
+// Capacity planner: given a model, channel count and GPU budget, enumerate
+// every (TP, FSDP, DP) x D-CHAG configuration, check feasibility against
+// the hardware model, and rank by predicted sustained throughput. This is
+// the decision procedure behind the paper's §6.2 "find the optimal
+// configuration" experiment and the examples/scale_planner binary.
+#pragma once
+
+#include <vector>
+
+#include "hw/perf_model.hpp"
+
+namespace dchag::core {
+
+struct PlanRequest {
+  hw::ModelConfig cfg;
+  model::Index channels = 64;
+  int gpus = 8;
+  hw::MachineSpec machine = hw::MachineSpec::frontier();
+  bool allow_dchag = true;
+  bool checkpoint_vit = true;
+  /// Cap on per-GPU batch during the max-batch search (0 = no cap).
+  model::Index max_batch = 0;
+};
+
+struct Plan {
+  hw::ParallelLayout layout;
+  hw::DchagSpec dchag;
+  model::Index batch_per_gpu = 0;
+  hw::MemoryBreakdown memory;
+  hw::StepEstimate step;
+
+  [[nodiscard]] double throughput_per_node() const {
+    return step.sustained_tflops_per_node;
+  }
+  [[nodiscard]] std::string describe() const;
+};
+
+class Planner {
+ public:
+  /// All feasible plans (batch >= 1 fits), unsorted.
+  [[nodiscard]] static std::vector<Plan> enumerate(const PlanRequest& req);
+  /// Highest predicted sustained TFLOPs/node; throws if nothing fits.
+  [[nodiscard]] static Plan best(const PlanRequest& req);
+};
+
+}  // namespace dchag::core

@@ -1,0 +1,171 @@
+#include "data/hyperspectral.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+
+namespace dchag::data {
+
+namespace {
+
+float gaussian(float x, float mu, float sigma) {
+  const float d = (x - mu) / sigma;
+  return std::exp(-0.5f * d * d);
+}
+
+}  // namespace
+
+HyperspectralGenerator::HyperspectralGenerator(HyperspectralConfig cfg,
+                                               std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  DCHAG_CHECK(cfg_.channels >= 3 && cfg_.num_materials >= 2,
+              "hyperspectral config too small");
+  spectra_.resize(static_cast<std::size_t>(cfg_.num_materials));
+  const float lo = cfg_.wavelength_min_nm;
+  const float hi = cfg_.wavelength_max_nm;
+  for (Index m = 0; m < cfg_.num_materials; ++m) {
+    auto& spec = spectra_[static_cast<std::size_t>(m)];
+    spec.resize(static_cast<std::size_t>(cfg_.channels));
+    Rng mat_rng = rng_.fork(static_cast<std::uint64_t>(m) + 101);
+    // Material 0 is vegetation-like: green bump (~550 nm), chlorophyll
+    // absorption (~680 nm), strong NIR plateau (>750 nm: the red edge).
+    // Others are random smooth mixtures of 3 Gaussians + a baseline.
+    const bool leafy = m == 0;
+    const float base = leafy ? 0.05f : mat_rng.uniform(0.1f, 0.4f);
+    struct Bump {
+      float mu, sigma, amp;
+    };
+    std::vector<Bump> bumps;
+    if (leafy) {
+      bumps = {{550.0f, 40.0f, 0.25f},
+               {680.0f, 25.0f, -0.08f},
+               {820.0f, 120.0f, 0.55f}};
+    } else {
+      for (int k = 0; k < 3; ++k) {
+        bumps.push_back({mat_rng.uniform(lo, hi),
+                         mat_rng.uniform(40.0f, 150.0f),
+                         mat_rng.uniform(-0.2f, 0.45f)});
+      }
+    }
+    for (Index c = 0; c < cfg_.channels; ++c) {
+      const float nm = lo + (hi - lo) * static_cast<float>(c) /
+                                static_cast<float>(cfg_.channels - 1);
+      float v = base;
+      for (const Bump& b : bumps) v += b.amp * gaussian(nm, b.mu, b.sigma);
+      spec[static_cast<std::size_t>(c)] = std::clamp(v, 0.0f, 1.0f);
+    }
+  }
+}
+
+Index HyperspectralGenerator::band_of_wavelength(float nm) const {
+  const float lo = cfg_.wavelength_min_nm;
+  const float hi = cfg_.wavelength_max_nm;
+  const float t = std::clamp((nm - lo) / (hi - lo), 0.0f, 1.0f);
+  return static_cast<Index>(
+      std::round(t * static_cast<float>(cfg_.channels - 1)));
+}
+
+Tensor HyperspectralGenerator::sample_batch(Index batch) {
+  const Index C = cfg_.channels;
+  const Index H = cfg_.height;
+  const Index W = cfg_.width;
+  Tensor out(tensor::Shape{batch, C, H, W});
+  float* dst = out.data();
+  for (Index b = 0; b < batch; ++b) {
+    // Per-scene abundance blobs: 2-4 bumps per material.
+    struct Blob {
+      float cx, cy, sx, sy, amp;
+    };
+    std::vector<std::vector<Blob>> blobs(
+        static_cast<std::size_t>(cfg_.num_materials));
+    for (Index m = 0; m < cfg_.num_materials; ++m) {
+      const Index n = rng_.uniform_int(2, 4);
+      for (Index k = 0; k < n; ++k) {
+        blobs[static_cast<std::size_t>(m)].push_back(
+            {rng_.uniform(0.0f, static_cast<float>(W)),
+             rng_.uniform(0.0f, static_cast<float>(H)),
+             rng_.uniform(0.1f * W, 0.35f * W),
+             rng_.uniform(0.1f * H, 0.35f * H), rng_.uniform(0.4f, 1.0f)});
+      }
+    }
+    // Abundances: softmax-normalised blob intensities per pixel.
+    std::vector<float> abundance(
+        static_cast<std::size_t>(cfg_.num_materials * H * W));
+    for (Index y = 0; y < H; ++y) {
+      for (Index x = 0; x < W; ++x) {
+        float total = 1e-6f;
+        for (Index m = 0; m < cfg_.num_materials; ++m) {
+          float a = 0.0f;
+          for (const Blob& bl : blobs[static_cast<std::size_t>(m)]) {
+            a += bl.amp *
+                 gaussian(static_cast<float>(x), bl.cx, bl.sx) *
+                 gaussian(static_cast<float>(y), bl.cy, bl.sy);
+          }
+          abundance[static_cast<std::size_t>((m * H + y) * W + x)] = a;
+          total += a;
+        }
+        for (Index m = 0; m < cfg_.num_materials; ++m) {
+          abundance[static_cast<std::size_t>((m * H + y) * W + x)] /= total;
+        }
+      }
+    }
+    // Mix spectra by abundance + sensor noise.
+    for (Index c = 0; c < C; ++c) {
+      float* plane = dst + (b * C + c) * H * W;
+      for (Index y = 0; y < H; ++y) {
+        for (Index x = 0; x < W; ++x) {
+          float v = 0.0f;
+          for (Index m = 0; m < cfg_.num_materials; ++m) {
+            v += abundance[static_cast<std::size_t>((m * H + y) * W + x)] *
+                 spectra_[static_cast<std::size_t>(m)]
+                         [static_cast<std::size_t>(c)];
+          }
+          plane[y * W + x] = v + rng_.normal(0.0f, cfg_.noise_std);
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void write_pseudo_rgb_ppm(const std::string& path, const Tensor& image,
+                          Index band_r, Index band_g, Index band_b) {
+  DCHAG_CHECK(image.rank() == 3, "write_pseudo_rgb_ppm expects [C, H, W]");
+  const Index C = image.dim(0);
+  const Index H = image.dim(1);
+  const Index W = image.dim(2);
+  DCHAG_CHECK(band_r < C && band_g < C && band_b < C, "band out of range");
+  const auto normalise = [&](Index band, Index y, Index x,
+                             float lo, float hi) {
+    const float v = image.at({band, y, x});
+    const float t = hi > lo ? (v - lo) / (hi - lo) : 0.0f;
+    return static_cast<int>(std::clamp(t, 0.0f, 1.0f) * 255.0f);
+  };
+  std::ofstream f(path, std::ios::binary);
+  DCHAG_CHECK(f.good(), "cannot open " << path);
+  f << "P3\n" << W << " " << H << "\n255\n";
+  const Index bands[3] = {band_r, band_g, band_b};
+  float lo[3];
+  float hi[3];
+  for (int i = 0; i < 3; ++i) {
+    lo[i] = 1e30f;
+    hi[i] = -1e30f;
+    for (Index y = 0; y < H; ++y) {
+      for (Index x = 0; x < W; ++x) {
+        const float v = image.at({bands[i], y, x});
+        lo[i] = std::min(lo[i], v);
+        hi[i] = std::max(hi[i], v);
+      }
+    }
+  }
+  for (Index y = 0; y < H; ++y) {
+    for (Index x = 0; x < W; ++x) {
+      for (int i = 0; i < 3; ++i) {
+        f << normalise(bands[i], y, x, lo[i], hi[i]) << " ";
+      }
+    }
+    f << "\n";
+  }
+}
+
+}  // namespace dchag::data

@@ -1,0 +1,69 @@
+// Synthetic hyperspectral plant imagery — the stand-in for the APPL
+// poplar VNIR dataset (494 images, 500 bands over 400-900 nm) used in
+// paper §5.1, which is not publicly available.
+//
+// Generative model (a standard linear spectral-mixture scene):
+//   * each scene contains `num_materials` endmembers (leaf, stem, soil,
+//     background), each with a smooth reflectance spectrum r_m(lambda)
+//     built from a few Gaussians over the 400-900 nm range (leaf-like
+//     spectra get a green bump + near-infrared plateau);
+//   * per-scene spatial abundance maps a_m(x, y) are soft blobs
+//     (normalised Gaussian bumps), so neighbouring pixels are correlated;
+//   * pixel spectra are abundance-weighted mixtures plus sensor noise.
+//
+// What this preserves from the real data, and why it suffices for the
+// paper's Fig. 11 experiment: hundreds of strongly-correlated channels
+// that share spatial structure — exactly the property that makes the
+// channel dimension the bottleneck and masked reconstruction learnable.
+#pragma once
+
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace dchag::data {
+
+using tensor::Index;
+using tensor::Rng;
+using tensor::Tensor;
+
+struct HyperspectralConfig {
+  Index channels = 500;  ///< spectral bands, 400-900 nm
+  Index height = 64;
+  Index width = 64;
+  Index num_materials = 4;
+  float noise_std = 0.01f;
+  float wavelength_min_nm = 400.0f;
+  float wavelength_max_nm = 900.0f;
+};
+
+class HyperspectralGenerator {
+ public:
+  HyperspectralGenerator(HyperspectralConfig cfg, std::uint64_t seed);
+
+  /// Fresh batch of scenes: [B, C, H, W], values roughly in [0, 1].
+  [[nodiscard]] Tensor sample_batch(Index batch);
+
+  /// Reflectance spectrum of material `m` at every band, [C].
+  [[nodiscard]] const std::vector<float>& material_spectrum(Index m) const {
+    return spectra_[static_cast<std::size_t>(m)];
+  }
+  [[nodiscard]] const HyperspectralConfig& config() const { return cfg_; }
+
+  /// Band index closest to a wavelength (for pseudo-RGB rendering).
+  [[nodiscard]] Index band_of_wavelength(float nm) const;
+
+ private:
+  HyperspectralConfig cfg_;
+  Rng rng_;
+  // spectra_[material][band]
+  std::vector<std::vector<float>> spectra_;
+};
+
+/// Renders [C, H, W] hyperspectral data to an 8-bit PPM using three bands
+/// as pseudo-RGB (the paper's Fig. 11 visualisation). Values are
+/// min-max normalised per band.
+void write_pseudo_rgb_ppm(const std::string& path, const Tensor& image,
+                          Index band_r, Index band_g, Index band_b);
+
+}  // namespace dchag::data

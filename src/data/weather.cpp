@@ -1,0 +1,133 @@
+#include "data/weather.hpp"
+
+#include <cmath>
+
+namespace dchag::data {
+
+namespace {
+constexpr float kTwoPi = 6.283185307179586f;
+}
+
+WeatherGenerator::WeatherGenerator(WeatherConfig cfg, std::uint64_t seed)
+    : cfg_(cfg), rng_(seed) {
+  DCHAG_CHECK(cfg_.channels() > 0 && cfg_.height > 0 && cfg_.width > 0,
+              "bad weather config");
+  const Index groups = cfg_.num_variables + cfg_.surface_variables;
+  waves_.resize(static_cast<std::size_t>(groups));
+  for (Index g = 0; g < groups; ++g) {
+    Rng group_rng = rng_.fork(static_cast<std::uint64_t>(g) + 11);
+    auto& waves = waves_[static_cast<std::size_t>(g)];
+    waves.resize(static_cast<std::size_t>(cfg_.waves_per_variable));
+    for (auto& w : waves) {
+      // Low zonal/meridional wavenumbers dominate, like planetary waves.
+      w.kx = static_cast<float>(group_rng.uniform_int(1, 4));
+      w.ky = static_cast<float>(group_rng.uniform_int(1, 3));
+      w.omega = group_rng.uniform(0.2f, 1.2f);
+      w.phase = group_rng.uniform(0.0f, kTwoPi);
+      w.amp = group_rng.uniform(0.3f, 1.0f) /
+              std::sqrt(static_cast<float>(cfg_.waves_per_variable));
+    }
+  }
+}
+
+Tensor WeatherGenerator::state(std::uint64_t sample_id, float t) const {
+  const Index C = cfg_.channels();
+  const Index H = cfg_.height;
+  const Index W = cfg_.width;
+  Tensor out(tensor::Shape{C, H, W});
+  // Sample-dependent global phase shift makes each realisation distinct
+  // while keeping the dynamics deterministic in t.
+  Rng sample_rng(sample_id * 0x9E3779B97F4A7C15ull + 7);
+  const float sample_phase = sample_rng.uniform(0.0f, kTwoPi);
+
+  float* dst = out.data();
+  Index c = 0;
+  const Index groups = cfg_.num_variables + cfg_.surface_variables;
+  for (Index g = 0; g < groups; ++g) {
+    const bool surface = g >= cfg_.num_variables;
+    const Index levels = surface ? 1 : cfg_.levels_per_variable;
+    const auto& waves = waves_[static_cast<std::size_t>(g)];
+    for (Index lvl = 0; lvl < levels; ++lvl, ++c) {
+      // Amplitude decays smoothly with level -> adjacent levels correlate.
+      const float level_amp =
+          surface ? 1.0f
+                  : std::exp(-0.08f * static_cast<float>(lvl));
+      const float level_shift = 0.15f * static_cast<float>(lvl);
+      float* plane = dst + c * H * W;
+      for (Index y = 0; y < H; ++y) {
+        // Meridional envelope: waves weaken toward the poles.
+        const float lat =
+            (static_cast<float>(y) / static_cast<float>(H - 1) - 0.5f) *
+            3.14159265f;
+        const float envelope = std::cos(lat);
+        for (Index x = 0; x < W; ++x) {
+          float v = 0.0f;
+          for (const auto& w : waves) {
+            v += w.amp * std::sin(kTwoPi * (w.kx * static_cast<float>(x) /
+                                                static_cast<float>(W) +
+                                            w.ky * static_cast<float>(y) /
+                                                static_cast<float>(H)) -
+                                  w.omega * t + w.phase + sample_phase +
+                                  level_shift);
+          }
+          plane[y * W + x] = level_amp * envelope * v;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+WeatherGenerator::Pair WeatherGenerator::sample_pair(Index batch,
+                                                     float lead) {
+  const Index C = cfg_.channels();
+  Pair pair{Tensor(tensor::Shape{batch, C, cfg_.height, cfg_.width}),
+            Tensor(tensor::Shape{batch, C, cfg_.height, cfg_.width})};
+  const Index plane = C * cfg_.height * cfg_.width;
+  for (Index b = 0; b < batch; ++b) {
+    const auto sample_id =
+        static_cast<std::uint64_t>(rng_.uniform_int(0, 1 << 30));
+    const float t = rng_.uniform(0.0f, 50.0f);
+    Tensor now = state(sample_id, t);
+    Tensor future = state(sample_id, t + lead);
+    // Observation noise on the input only (the target is the true state).
+    for (float& v : now.span()) v += rng_.normal(0.0f, cfg_.noise_std);
+    std::copy(now.span().begin(), now.span().end(),
+              pair.now.data() + b * plane);
+    std::copy(future.span().begin(), future.span().end(),
+              pair.future.data() + b * plane);
+  }
+  return pair;
+}
+
+Index WeatherGenerator::z500_channel() const {
+  // Variable group 0 ("geopotential"), mid-level.
+  return cfg_.levels_per_variable / 2;
+}
+
+Index WeatherGenerator::t850_channel() const {
+  // Variable group 1 ("temperature"), low level.
+  return cfg_.levels_per_variable + (cfg_.levels_per_variable * 4) / 5;
+}
+
+Index WeatherGenerator::u10_channel() const {
+  // First surface variable ("10m u-wind").
+  return cfg_.num_variables * cfg_.levels_per_variable;
+}
+
+std::string WeatherGenerator::channel_name(Index c) const {
+  static const char* kVars[] = {"z", "t", "u", "v", "q"};
+  const Index atm = cfg_.num_variables * cfg_.levels_per_variable;
+  if (c < atm) {
+    const Index g = c / cfg_.levels_per_variable;
+    const Index lvl = c % cfg_.levels_per_variable;
+    const char* base =
+        g < 5 ? kVars[g] : "x";
+    return std::string(base) + "_lvl" + std::to_string(lvl);
+  }
+  static const char* kSurf[] = {"u10", "v10", "t2m", "sp", "tp"};
+  const Index s = c - atm;
+  return s < 5 ? kSurf[s] : "surf" + std::to_string(s);
+}
+
+}  // namespace dchag::data

@@ -1,0 +1,75 @@
+// Synthetic ERA5-like weather fields — the stand-in for the paper's §5.2
+// forecasting dataset (5 atmospheric variables x >10 pressure levels + 3
+// surface variables = 80 channels, regridded to 5.625 deg = 32 x 64).
+//
+// Generative model: each variable group is a superposition of travelling
+// planetary waves f(x, y, t) = sum_k A_k sin(kx*x + ky*y - omega_k*t +
+// phi_k) with smooth meridional envelopes; channels within a group (the
+// pressure levels of one variable) share the same wave set with
+// level-dependent amplitude decay, giving the strong inter-level
+// correlation of real reanalysis. The dynamics are deterministic in t, so
+// "forecast t -> t + lead" is a well-posed learnable task, which is all
+// the paper's Fig. 12 parity experiment requires.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "tensor/rng.hpp"
+
+namespace dchag::data {
+
+using tensor::Index;
+using tensor::Rng;
+using tensor::Tensor;
+
+struct WeatherConfig {
+  Index num_variables = 5;      ///< atmospheric variable groups
+  Index levels_per_variable = 15;  ///< pressure levels per group
+  Index surface_variables = 5;  ///< single-level variables
+  Index height = 32;            ///< 5.625 deg grid (paper regrid)
+  Index width = 64;
+  Index waves_per_variable = 6;
+  float noise_std = 0.02f;
+
+  [[nodiscard]] Index channels() const {
+    return num_variables * levels_per_variable + surface_variables;
+  }
+};
+
+class WeatherGenerator {
+ public:
+  WeatherGenerator(WeatherConfig cfg, std::uint64_t seed);
+
+  /// Field snapshot at time `t` for one sample realisation `sample_id`:
+  /// [C, H, W]. Deterministic in (sample_id, t).
+  [[nodiscard]] Tensor state(std::uint64_t sample_id, float t) const;
+
+  /// Batch of (input, target) pairs at random times: input [B, C, H, W] at
+  /// t_i, target at t_i + lead.
+  struct Pair {
+    Tensor now;
+    Tensor future;
+  };
+  [[nodiscard]] Pair sample_pair(Index batch, float lead);
+
+  [[nodiscard]] const WeatherConfig& config() const { return cfg_; }
+
+  /// Paper's evaluation channels: geopotential@500-like, temperature@850
+  /// -like, and surface-u-wind-like indices into the channel dimension.
+  [[nodiscard]] Index z500_channel() const;
+  [[nodiscard]] Index t850_channel() const;
+  [[nodiscard]] Index u10_channel() const;
+  [[nodiscard]] std::string channel_name(Index c) const;
+
+ private:
+  struct Wave {
+    float kx, ky, omega, phase, amp;
+  };
+  WeatherConfig cfg_;
+  Rng rng_;
+  // waves_[variable_group][wave]; surface vars are extra groups of 1 level
+  std::vector<std::vector<Wave>> waves_;
+};
+
+}  // namespace dchag::data

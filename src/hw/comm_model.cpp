@@ -1,0 +1,64 @@
+#include "hw/comm_model.hpp"
+
+#include <algorithm>
+
+namespace dchag::hw {
+
+double CommCostModel::effective_bandwidth_gbs(int group_size,
+                                              int ranks_per_node) const {
+  DCHAG_CHECK(group_size >= 1 && ranks_per_node >= 1,
+              "invalid group placement");
+  if (group_size <= ranks_per_node) return machine_.intra_node.bandwidth_gbs;
+  // Spanning nodes: colocated group members share the node NIC budget.
+  const double share =
+      machine_.inter_node_per_node.bandwidth_gbs / ranks_per_node;
+  return std::min(machine_.intra_node.bandwidth_gbs, share);
+}
+
+double CommCostModel::effective_latency_s(int group_size,
+                                          int ranks_per_node) const {
+  return group_size <= ranks_per_node ? machine_.intra_node.latency_s
+                                      : machine_.inter_node_per_node.latency_s;
+}
+
+double CommCostModel::all_reduce_s(double bytes, int group_size,
+                                   int ranks_per_node) const {
+  if (group_size <= 1 || bytes <= 0) return 0.0;
+  const double p = group_size;
+  const double bw = effective_bandwidth_gbs(group_size, ranks_per_node) * 1e9;
+  const double alpha = effective_latency_s(group_size, ranks_per_node);
+  // Ring: reduce-scatter + all-gather, 2(P-1) steps moving bytes/P each.
+  return 2.0 * (p - 1.0) * alpha + 2.0 * (p - 1.0) / p * bytes / bw;
+}
+
+double CommCostModel::all_gather_s(double recv_bytes_total, int group_size,
+                                   int ranks_per_node) const {
+  if (group_size <= 1 || recv_bytes_total <= 0) return 0.0;
+  const double p = group_size;
+  const double bw = effective_bandwidth_gbs(group_size, ranks_per_node) * 1e9;
+  const double alpha = effective_latency_s(group_size, ranks_per_node);
+  return (p - 1.0) * alpha + (p - 1.0) / p * recv_bytes_total / bw;
+}
+
+double CommCostModel::reduce_scatter_s(double send_bytes_total,
+                                       int group_size,
+                                       int ranks_per_node) const {
+  // Symmetric to all_gather under the ring schedule.
+  return all_gather_s(send_bytes_total, group_size, ranks_per_node);
+}
+
+GroupPlacement place_groups(int tp, int fsdp, int dp, int gpus_per_node) {
+  DCHAG_CHECK(tp >= 1 && fsdp >= 1 && dp >= 1 && gpus_per_node >= 1,
+              "invalid placement query");
+  GroupPlacement p{};
+  p.tp_ranks_per_node = std::min(tp, gpus_per_node);
+  // FSDP strides over TP groups: its members on one node = how many whole
+  // TP groups fit on a node (at least 1 member per node otherwise).
+  const int tp_groups_per_node = std::max(1, gpus_per_node / tp);
+  p.fsdp_ranks_per_node = std::min(fsdp, tp_groups_per_node);
+  const int pairs_per_node = std::max(1, gpus_per_node / (tp * fsdp));
+  p.dp_ranks_per_node = std::min(dp, pairs_per_node);
+  return p;
+}
+
+}  // namespace dchag::hw

@@ -1,0 +1,52 @@
+// Alpha-beta cost model for collectives on the Frontier fabric.
+//
+// A process group of P ranks occupies `ranks_per_node` GCDs on each of
+// P/ranks_per_node nodes. Within a node traffic rides Infinity Fabric;
+// across nodes all colocated ranks share the node's Slingshot budget
+// (paper §4.1: 100 GB/s per node), which is exactly why the paper's hybrid
+// layout pushes heavy collectives inside the node (§6.3).
+#pragma once
+
+#include "hw/machine.hpp"
+
+namespace dchag::hw {
+
+class CommCostModel {
+ public:
+  explicit CommCostModel(MachineSpec machine) : machine_(machine) {}
+
+  /// Ring AllReduce of `bytes` per rank.
+  [[nodiscard]] double all_reduce_s(double bytes, int group_size,
+                                    int ranks_per_node) const;
+  /// AllGather where every rank ends with `recv_bytes_total`.
+  [[nodiscard]] double all_gather_s(double recv_bytes_total, int group_size,
+                                    int ranks_per_node) const;
+  /// ReduceScatter of `send_bytes_total` per rank.
+  [[nodiscard]] double reduce_scatter_s(double send_bytes_total,
+                                        int group_size,
+                                        int ranks_per_node) const;
+
+  /// Effective per-rank bandwidth (GB/s) and latency for a group.
+  [[nodiscard]] double effective_bandwidth_gbs(int group_size,
+                                               int ranks_per_node) const;
+  [[nodiscard]] double effective_latency_s(int group_size,
+                                           int ranks_per_node) const;
+
+  [[nodiscard]] const MachineSpec& machine() const { return machine_; }
+
+ private:
+  MachineSpec machine_;
+};
+
+/// Ranks per node occupied by each group of the (tp, fsdp, dp)
+/// factorisation when ranks are packed tp-innermost onto nodes of
+/// `gpus_per_node` (paper Fig. 5 layout).
+struct GroupPlacement {
+  int tp_ranks_per_node;
+  int fsdp_ranks_per_node;
+  int dp_ranks_per_node;
+};
+[[nodiscard]] GroupPlacement place_groups(int tp, int fsdp, int dp,
+                                          int gpus_per_node);
+
+}  // namespace dchag::hw

@@ -1,0 +1,88 @@
+#include "hw/flop_model.hpp"
+
+namespace dchag::hw {
+
+double FlopModel::tokenizer_flops(const ModelConfig& cfg, double batch,
+                                  double channels) {
+  const double S = static_cast<double>(cfg.seq_len());
+  const double p2 = static_cast<double>(cfg.patch_size * cfg.patch_size);
+  const double D = static_cast<double>(cfg.embed_dim);
+  return 2.0 * batch * channels * S * p2 * D;
+}
+
+FlopModel::AggFlops FlopModel::aggregation_flops(const ModelConfig& cfg,
+                                                 double batch, Index width,
+                                                 AggLayerKind kind) {
+  const double S = static_cast<double>(cfg.seq_len());
+  const double D = static_cast<double>(cfg.embed_dim);
+  const double W = static_cast<double>(width);
+  if (kind == AggLayerKind::kLinear) {
+    // Channel combine (B*S*W*D multiply-adds) + D x D projection.
+    return {2.0 * batch * S * W * D, 2.0 * batch * S * D * D};
+  }
+  const double queries =
+      cfg.query_mode == model::QueryMode::kChannelTokens ? W : 1.0;
+  // QK^T and attn*V: 2 * (B*S) * queries * W * D each.
+  const double scores = 2.0 * 2.0 * batch * S * queries * W * D;
+  // q projection on `queries` tokens; k, v on W tokens; out on `queries`.
+  const double proj = 2.0 * batch * S * (2.0 * queries + 2.0 * W) * D * D;
+  return {scores, proj};
+}
+
+FlopModel::AggFlops FlopModel::tree_flops(const ModelConfig& cfg,
+                                          double batch,
+                                          const model::TreePlan& plan,
+                                          AggLayerKind kind) {
+  AggFlops total{0, 0};
+  for (const auto& level : plan.level_widths) {
+    for (Index w : level) {
+      const AggFlops f = aggregation_flops(cfg, batch, w, kind);
+      total.scores += f.scores;
+      total.proj += f.proj;
+    }
+  }
+  return total;
+}
+
+double FlopModel::transformer_flops(const ModelConfig& cfg, double batch) {
+  const double S = static_cast<double>(cfg.seq_len());
+  const double D = static_cast<double>(cfg.embed_dim);
+  const double L = static_cast<double>(cfg.num_layers);
+  const double r = static_cast<double>(cfg.mlp_ratio);
+  // Per block: qkv+out projections (8*B*S*D^2), attention matmuls
+  // (4*B*S^2*D), MLP (4r*B*S*D^2).
+  return L * batch * S * ((8.0 + 4.0 * r) * D * D + 4.0 * S * D);
+}
+
+double FlopModel::head_flops(const ModelConfig& cfg, double batch,
+                             double out_channels) {
+  const double S = static_cast<double>(cfg.seq_len());
+  const double D = static_cast<double>(cfg.embed_dim);
+  const double p2 = static_cast<double>(cfg.patch_size * cfg.patch_size);
+  return 2.0 * batch * S * D * out_channels * p2;
+}
+
+double FlopModel::logical_forward_flops(const ModelConfig& cfg, double batch,
+                                        Index channels,
+                                        const DchagSpec& dchag, int tp) {
+  const double C = static_cast<double>(channels);
+  double total = tokenizer_flops(cfg, batch, C) +
+                 transformer_flops(cfg, batch) +
+                 head_flops(cfg, batch, C);
+  if (!dchag.enabled) {
+    const AggFlops agg = aggregation_flops(cfg, batch, channels,
+                                           AggLayerKind::kCrossAttention);
+    return total + agg.scores + agg.proj;
+  }
+  const Index c_local = std::max<Index>(1, channels / tp);
+  const Index width = model::tree_units_to_width(
+      c_local, std::min<Index>(dchag.tree_units, c_local));
+  const AggFlops tree =
+      tree_flops(cfg, batch, model::plan_tree(c_local, width), dchag.kind);
+  const AggFlops fin = aggregation_flops(cfg, batch, std::max(tp, 2),
+                                         AggLayerKind::kCrossAttention);
+  // The tree runs once per TP rank (different channels — useful work).
+  return total + tp * (tree.scores + tree.proj) + fin.scores + fin.proj;
+}
+
+}  // namespace dchag::hw

@@ -1,0 +1,52 @@
+// Analytic FLOP counts per model component. "Logical" FLOPs are the
+// model's mathematical cost (what a perfectly-parallel system would do
+// once); "executed" FLOPs per GPU account for the redundancy each strategy
+// actually incurs (e.g. baseline TP re-tokenizes every channel on every
+// rank — paper Fig. 2 top). The formulas are validated against the
+// instrumented matmul ledger of the executable model in
+// tests/hw/flop_model_test.cpp.
+#pragma once
+
+#include "hw/workload.hpp"
+
+namespace dchag::hw {
+
+struct FlopModel {
+  /// Per-channel patch embedding: 2 * B*C*S * p^2 * D.
+  [[nodiscard]] static double tokenizer_flops(const ModelConfig& cfg,
+                                              double batch, double channels);
+
+  /// One aggregation unit over `width` channel tokens; split so the
+  /// perf model can shard projections but not channel scores under TP.
+  struct AggFlops {
+    double scores;  ///< QK^T + attn*V (channel dimension)
+    double proj;    ///< q,k,v,out projections (embedding dimension)
+  };
+  [[nodiscard]] static AggFlops aggregation_flops(const ModelConfig& cfg,
+                                                  double batch, Index width,
+                                                  AggLayerKind kind);
+
+  /// Whole partial-aggregation tree.
+  [[nodiscard]] static AggFlops tree_flops(const ModelConfig& cfg,
+                                           double batch,
+                                           const model::TreePlan& plan,
+                                           AggLayerKind kind);
+
+  /// All ViT blocks (attention + MLP) for one batch.
+  [[nodiscard]] static double transformer_flops(const ModelConfig& cfg,
+                                                double batch);
+
+  /// Reconstruction/forecast head: 2 * B*S * D * C*p^2.
+  [[nodiscard]] static double head_flops(const ModelConfig& cfg, double batch,
+                                         double out_channels);
+
+  /// Logical forward FLOPs of the full model (baseline or D-CHAG
+  /// architecture) for `batch` samples.
+  [[nodiscard]] static double logical_forward_flops(const ModelConfig& cfg,
+                                                    double batch,
+                                                    Index channels,
+                                                    const DchagSpec& dchag,
+                                                    int tp);
+};
+
+}  // namespace dchag::hw

@@ -1,0 +1,48 @@
+// Machine description for the analytic hardware model, calibrated to
+// Frontier (paper §4.1): 4x MI250X per node, each exposing two GCDs, so 8
+// logical GPUs per node with 64 GB HBM each; Infinity Fabric intra-node
+// (50 GB/s per link) and Slingshot-11 inter-node (100 GB/s per node).
+#pragma once
+
+#include "tensor/check.hpp"
+
+namespace dchag::hw {
+
+struct GpuSpec {
+  double mem_gb = 64.0;           ///< HBM capacity per GCD
+  double peak_matrix_tflops = 191.5;  ///< MI250X bf16 matrix peak per GCD
+  /// Fraction of HBM the allocator can actually use for the job (the rest
+  /// is framework/RCCL buffers and fragmentation).
+  double usable_frac = 0.92;
+};
+
+struct LinkSpec {
+  double latency_s;
+  double bandwidth_gbs;  ///< GB/s
+};
+
+/// Achievable compute efficiency (fraction of peak) per workload phase.
+/// Tokenization is a batched skinny GEMM, attention is softmax-bound,
+/// transformer blocks are large GEMMs.
+struct EfficiencySpec {
+  double tokenizer = 0.30;
+  double attention = 0.25;
+  double transformer = 0.45;
+};
+
+struct MachineSpec {
+  GpuSpec gpu;
+  int gpus_per_node = 8;
+  LinkSpec intra_node{/*latency_s=*/3e-6, /*bandwidth_gbs=*/50.0};
+  /// Slingshot NIC budget shared by the node's GCDs.
+  LinkSpec inter_node_per_node{/*latency_s=*/8e-6, /*bandwidth_gbs=*/100.0};
+  EfficiencySpec efficiency;
+
+  [[nodiscard]] double usable_mem_gb() const {
+    return gpu.mem_gb * gpu.usable_frac;
+  }
+
+  static MachineSpec frontier() { return MachineSpec{}; }
+};
+
+}  // namespace dchag::hw

@@ -1,0 +1,203 @@
+#include "hw/memory_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dchag::hw {
+
+namespace {
+
+constexpr double kGb = 1e9;
+constexpr double kStateBytesPerParam = 16.0;  // bf16 p+g, fp32 master+m+v
+constexpr double kActBytes = 2.0;             // bf16 activations
+
+double gb(double bytes) { return bytes / kGb; }
+
+/// Stored activations of the channel-aggregation path for one aggregation
+/// unit of `width` channels (scores + K/Q/V/out projections). `d_shard`
+/// is the embedding slice held locally (D or D/tp) and `head_shard` the
+/// attention-head split (Megatron shards heads across TP, so the C x C
+/// score tensor divides by min(tp, heads); rank-local D-CHAG tree units
+/// pass 1 — their channels differ per rank, nothing can shard).
+double aggregation_unit_act_bytes(const ModelConfig& cfg, double batch_seq,
+                                  Index width, AggLayerKind kind,
+                                  double d_shard, double head_shard) {
+  if (kind == AggLayerKind::kLinear) {
+    // LN + weighted combine + projection: a handful of [B,S,D] tensors.
+    return batch_seq * (static_cast<double>(width) * kActBytes  // weights bc
+                        + 3.0 * d_shard * kActBytes);
+  }
+  const double wd = static_cast<double>(width);
+  const double scores =
+      cfg.query_mode == model::QueryMode::kChannelTokens ? wd * wd : wd;
+  return batch_seq *
+         (static_cast<double>(cfg.num_heads) / head_shard * scores *
+              kActBytes                                        // scores
+          + 3.0 * wd * d_shard * kActBytes                     // q,k,v
+          + d_shard * kActBytes);                              // output
+}
+
+/// ViT block activations per GPU.
+double transformer_act_bytes(const ModelConfig& cfg, const Workload& w,
+                             double batch_seq, int tp) {
+  const double d = static_cast<double>(cfg.embed_dim);
+  const double layers = static_cast<double>(cfg.num_layers);
+  const double r = static_cast<double>(cfg.mlp_ratio);
+  if (w.checkpoint_vit) {
+    // Stored block inputs (replicated across TP) + one block's live
+    // recompute workspace (internals sharded by TP).
+    const double stored = layers * batch_seq * d * kActBytes;
+    const double workspace =
+        (6.0 + 2.0 * r) * batch_seq * d * kActBytes / tp;
+    return stored + workspace;
+  }
+  // No checkpointing: every block keeps its internals. Roughly 8 full-D
+  // tensors (residuals, LN outputs) plus (10 + 2r)/tp sharded internals.
+  const double per_block =
+      (8.0 + (10.0 + 2.0 * r) / tp) * batch_seq * d * kActBytes;
+  return layers * per_block;
+}
+
+}  // namespace
+
+MemoryBreakdown estimate_memory(const ModelConfig& cfg, const Workload& w,
+                                const ParallelLayout& layout,
+                                const DchagSpec& dchag) {
+  cfg.validate();
+  layout.validate();
+  DCHAG_CHECK(w.channels >= 1, "workload needs channels");
+  const double B = static_cast<double>(w.batch_per_gpu);
+  const double S = static_cast<double>(cfg.seq_len());
+  const double BS = B * S;
+  const double D = static_cast<double>(cfg.embed_dim);
+  const int tp = layout.tp;
+  const double fsdp = static_cast<double>(layout.fsdp);
+  const double p2 = static_cast<double>(cfg.patch_size * cfg.patch_size);
+
+  MemoryBreakdown m;
+  m.transformer_state_gb =
+      gb(static_cast<double>(cfg.transformer_params()) * kStateBytesPerParam /
+         (tp * fsdp));
+  m.transformer_act_gb = gb(transformer_act_bytes(cfg, w, BS, tp));
+
+  if (!dchag.enabled) {
+    // Baseline: every TP rank tokenizes and aggregates all C channels.
+    const double C = static_cast<double>(w.channels);
+    // Tokenizer params replicate across TP (no implementation shards them
+    // — paper §4.3); FSDP shards their optimizer state.
+    m.tokenizer_state_gb = gb(
+        static_cast<double>(cfg.tokenizer_params(w.channels)) *
+        kStateBytesPerParam / fsdp);
+    m.input_act_gb = gb(BS * C * p2 * kActBytes);
+    m.tokenizer_act_gb = gb(BS * C * D * kActBytes);
+    m.aggregation_state_gb =
+        gb(static_cast<double>(cfg.aggregator_params(
+               AggLayerKind::kCrossAttention, w.channels)) *
+           kStateBytesPerParam / (tp * fsdp));
+    const double head_shard =
+        static_cast<double>(std::min<Index>(tp, cfg.num_heads));
+    m.aggregation_act_gb = gb(aggregation_unit_act_bytes(
+        cfg, BS, w.channels, AggLayerKind::kCrossAttention, D / tp,
+        head_shard));
+    return m;
+  }
+
+  // ----- D-CHAG path (paper §3.3) -------------------------------------------
+  DCHAG_CHECK(w.channels % tp == 0 || tp == 1,
+              "D-CHAG: channels " << w.channels << " not divisible by tp "
+                                  << tp);
+  const Index c_local = std::max<Index>(1, w.channels / tp);
+  const double Cl = static_cast<double>(c_local);
+  m.tokenizer_state_gb =
+      gb(static_cast<double>(cfg.tokenizer_params(c_local)) *
+         kStateBytesPerParam / fsdp);
+  m.input_act_gb = gb(BS * Cl * p2 * kActBytes);
+  m.tokenizer_act_gb = gb(BS * Cl * D * kActBytes);
+
+  // Partial aggregation tree over the local channels.
+  const Index width = model::tree_units_to_width(
+      c_local, std::min<Index>(dchag.tree_units, c_local));
+  const model::TreePlan plan = model::plan_tree(c_local, width);
+  double tree_state_bytes =
+      static_cast<double>(model::tree_params(cfg, dchag.kind, plan)) *
+      kStateBytesPerParam / fsdp;  // rank-local: TP cannot shard them
+  double tree_act_bytes = 0;
+  for (const auto& level : plan.level_widths) {
+    for (Index uw : level) {
+      tree_act_bytes += aggregation_unit_act_bytes(cfg, BS, uw, dchag.kind,
+                                                   D, /*head_shard=*/1.0);
+    }
+  }
+
+  // Final shared cross-attention over one token per TP rank; its embedding
+  // space is sharded by TP like the rest of the model (paper §3.3 end).
+  const double final_state_bytes =
+      static_cast<double>(
+          cfg.aggregator_params(AggLayerKind::kCrossAttention, tp)) *
+      kStateBytesPerParam / (tp * fsdp);
+  const double final_act_bytes = aggregation_unit_act_bytes(
+      cfg, BS, tp, AggLayerKind::kCrossAttention, D / tp,
+      static_cast<double>(std::min<Index>(tp, cfg.num_heads)));
+
+  m.aggregation_state_gb = gb(tree_state_bytes + final_state_bytes);
+  m.aggregation_act_gb = gb(tree_act_bytes + final_act_bytes);
+  // AllGather landing buffer: one channel representation per TP rank.
+  m.gather_act_gb = gb(BS * static_cast<double>(tp) * D * kActBytes);
+  return m;
+}
+
+MemoryBreakdown estimate_memory_distributed_tokenization(
+    const ModelConfig& cfg, const Workload& w, const ParallelLayout& layout) {
+  // Start from the baseline and replace the tokenization terms: each rank
+  // tokenizes C/tp channels but must AllGather the full [B, C, S, D] token
+  // tensor (both channel and spatial dimensions) before aggregation.
+  MemoryBreakdown m = estimate_memory(cfg, w, layout, DchagSpec::off());
+  const double B = static_cast<double>(w.batch_per_gpu);
+  const double S = static_cast<double>(cfg.seq_len());
+  const double D = static_cast<double>(cfg.embed_dim);
+  const double C = static_cast<double>(w.channels);
+  const double p2 = static_cast<double>(cfg.patch_size * cfg.patch_size);
+  const double Cl = C / layout.tp;
+
+  m.tokenizer_state_gb /= layout.tp;  // per-channel weights now split
+  m.input_act_gb = gb(B * S * Cl * p2 * kActBytes);
+  m.tokenizer_act_gb = gb(B * S * Cl * D * kActBytes);
+  // Full token tensor materialised on every rank by the AllGather.
+  m.gather_act_gb = gb(B * S * C * D * kActBytes);
+  return m;
+}
+
+int min_feasible_tp(const ModelConfig& cfg, const Workload& w,
+                    const DchagSpec& dchag, const MachineSpec& machine,
+                    int max_tp) {
+  for (int tp = 1; tp <= max_tp; tp *= 2) {
+    ParallelLayout layout{tp, 1, 1};
+    if (dchag.enabled && w.channels % tp != 0) continue;
+    if (fits(estimate_memory(cfg, w, layout, dchag), machine)) return tp;
+  }
+  return -1;
+}
+
+Index max_batch_per_gpu(const ModelConfig& cfg, Index channels,
+                        const ParallelLayout& layout, const DchagSpec& dchag,
+                        const MachineSpec& machine, bool checkpoint_vit) {
+  const auto fits_batch = [&](Index b) {
+    Workload w{b, channels, checkpoint_vit};
+    return fits(estimate_memory(cfg, w, layout, dchag), machine);
+  };
+  if (!fits_batch(1)) return 0;
+  Index lo = 1;
+  Index hi = 2;
+  while (fits_batch(hi)) {
+    lo = hi;
+    hi *= 2;
+    if (hi > (Index{1} << 20)) break;  // guard against degenerate configs
+  }
+  while (lo + 1 < hi) {
+    const Index mid = (lo + hi) / 2;
+    (fits_batch(mid) ? lo : hi) = mid;
+  }
+  return lo;
+}
+
+}  // namespace dchag::hw

@@ -1,0 +1,90 @@
+// Per-GPU memory accounting for the foundation-model architecture under
+// every parallel strategy the paper studies.
+//
+// Accounting rules (validated against the paper's feasibility statements
+// in tests/hw/calibration_test.cpp and against the executable model's
+// allocation census in tests/hw/memory_census_test.cpp):
+//
+//  * Mixed-precision Adam: bf16 params (2B) + bf16 grads (2B) + fp32
+//    master/momentum/variance (12B) = 16 bytes per parameter.
+//  * Activations are bf16 (2 bytes), stored for backward.
+//  * TP shards: transformer parameters and per-layer internals, the
+//    embedding dimension of aggregation projections. TP does NOT shard:
+//    tokenizer parameters/activations (replicated — paper Fig. 2 top) or
+//    cross-attention channel scores (channel dimension — paper Fig. 14:
+//    "TP distributes the embedding space of the channel aggregation
+//    module, but not in the channel dimension").
+//  * FSDP shards parameter/gradient/optimizer memory of everything, never
+//    activations. DP shards nothing (memory-wise).
+//  * With QueryMode::kChannelTokens the aggregation scores are B*S*h*C^2;
+//    with kLearnedQuery they are B*S*h*C (the ablation).
+//  * ViT blocks checkpoint activations: stored block inputs L*B*S*D plus
+//    one block's recompute workspace (FlashAttention-2 => no S^2 term).
+//  * The reconstruction-head loss is computed in spatial chunks (as real
+//    implementations do) and contributes no standing activation term.
+#pragma once
+
+#include "hw/machine.hpp"
+#include "hw/workload.hpp"
+
+namespace dchag::hw {
+
+struct MemoryBreakdown {
+  // Parameter + gradient + optimizer state (GB per GPU).
+  double tokenizer_state_gb = 0;
+  double aggregation_state_gb = 0;
+  double transformer_state_gb = 0;
+  // Activations (GB per GPU).
+  double input_act_gb = 0;
+  double tokenizer_act_gb = 0;
+  double aggregation_act_gb = 0;
+  double gather_act_gb = 0;  ///< AllGather landing buffers (dist-tok / D-CHAG)
+  double transformer_act_gb = 0;
+
+  [[nodiscard]] double total_gb() const {
+    return tokenizer_state_gb + aggregation_state_gb + transformer_state_gb +
+           input_act_gb + tokenizer_act_gb + aggregation_act_gb +
+           gather_act_gb + transformer_act_gb;
+  }
+  /// Fraction of memory spent on tokenization + channel aggregation — the
+  /// quantity the paper's Figs. 6-8 and 14 track.
+  [[nodiscard]] double token_agg_fraction() const {
+    const double ta = tokenizer_state_gb + aggregation_state_gb +
+                      input_act_gb + tokenizer_act_gb + aggregation_act_gb +
+                      gather_act_gb;
+    return total_gb() > 0 ? ta / total_gb() : 0.0;
+  }
+};
+
+/// Memory per GPU for the baseline architecture under (TP, FSDP, DP),
+/// optionally with D-CHAG replacing the tokenization/aggregation path.
+[[nodiscard]] MemoryBreakdown estimate_memory(const ModelConfig& cfg,
+                                              const Workload& w,
+                                              const ParallelLayout& layout,
+                                              const DchagSpec& dchag);
+
+/// Memory per GPU for the intermediate §3.1 scheme: tokenization is
+/// distributed across TP ranks but aggregation stays monolithic, which
+/// requires AllGathering the full token tensor (paper Fig. 8).
+[[nodiscard]] MemoryBreakdown estimate_memory_distributed_tokenization(
+    const ModelConfig& cfg, const Workload& w, const ParallelLayout& layout);
+
+[[nodiscard]] inline bool fits(const MemoryBreakdown& mem,
+                               const MachineSpec& machine) {
+  return mem.total_gb() <= machine.usable_mem_gb();
+}
+
+/// Smallest power-of-two TP degree (1..max_tp) at which the workload fits;
+/// returns -1 if none fits.
+[[nodiscard]] int min_feasible_tp(const ModelConfig& cfg, const Workload& w,
+                                  const DchagSpec& dchag,
+                                  const MachineSpec& machine, int max_tp);
+
+/// Largest batch per GPU (>= 1) that fits, or 0 if batch 1 already OOMs.
+[[nodiscard]] Index max_batch_per_gpu(const ModelConfig& cfg, Index channels,
+                                      const ParallelLayout& layout,
+                                      const DchagSpec& dchag,
+                                      const MachineSpec& machine,
+                                      bool checkpoint_vit = true);
+
+}  // namespace dchag::hw

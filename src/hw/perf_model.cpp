@@ -1,0 +1,145 @@
+#include "hw/perf_model.hpp"
+
+#include <algorithm>
+
+namespace dchag::hw {
+
+namespace {
+
+/// Backward costs ~2x forward; checkpointed ViT blocks additionally
+/// recompute their forward once during backward.
+constexpr double kFwdBwd = 3.0;
+constexpr double kFwdBwdCkpt = 4.0;
+
+double seconds(double flops, double peak_tflops, double efficiency) {
+  return flops / (peak_tflops * 1e12 * efficiency);
+}
+
+}  // namespace
+
+StepEstimate estimate_step(const ModelConfig& cfg, const Workload& w,
+                           const ParallelLayout& layout,
+                           const DchagSpec& dchag,
+                           const MachineSpec& machine) {
+  cfg.validate();
+  layout.validate();
+  const double B = static_cast<double>(w.batch_per_gpu);
+  const double S = static_cast<double>(cfg.seq_len());
+  const double D = static_cast<double>(cfg.embed_dim);
+  const double C = static_cast<double>(w.channels);
+  const int tp = layout.tp;
+  const auto& eff = machine.efficiency;
+  const double peak = machine.gpu.peak_matrix_tflops;
+  const CommCostModel cost(machine);
+  const GroupPlacement placement =
+      place_groups(layout.tp, layout.fsdp, layout.dp, machine.gpus_per_node);
+
+  StepEstimate est;
+
+  // ----- executed compute per GPU --------------------------------------------
+  double tokenizer_exec = 0;
+  double agg_scores_exec = 0;
+  double agg_proj_exec = 0;
+  const double head_shard =
+      static_cast<double>(std::min<Index>(tp, cfg.num_heads));
+  if (!dchag.enabled) {
+    // Baseline TP: every rank tokenizes all channels (redundant — paper
+    // Fig. 2 top); the aggregation attention shards by heads and the
+    // projections by the embedding dimension.
+    tokenizer_exec = FlopModel::tokenizer_flops(cfg, B, C);
+    const auto agg = FlopModel::aggregation_flops(
+        cfg, B, w.channels, AggLayerKind::kCrossAttention);
+    agg_scores_exec = agg.scores / head_shard;
+    agg_proj_exec = agg.proj / tp;
+  } else {
+    const Index c_local = std::max<Index>(1, w.channels / tp);
+    tokenizer_exec =
+        FlopModel::tokenizer_flops(cfg, B, static_cast<double>(c_local));
+    const Index width = model::tree_units_to_width(
+        c_local, std::min<Index>(dchag.tree_units, c_local));
+    const auto tree = FlopModel::tree_flops(
+        cfg, B, model::plan_tree(c_local, width), dchag.kind);
+    const auto fin = FlopModel::aggregation_flops(
+        cfg, B, std::max(tp, 2), AggLayerKind::kCrossAttention);
+    agg_scores_exec = tree.scores + fin.scores / head_shard;
+    agg_proj_exec = tree.proj + fin.proj / tp;
+  }
+  const double vit_exec = FlopModel::transformer_flops(cfg, B) / tp;
+  const double head_exec = FlopModel::head_flops(cfg, B, C) / tp;
+
+  const double vit_factor = w.checkpoint_vit ? kFwdBwdCkpt : kFwdBwd;
+  est.compute_s = seconds(kFwdBwd * tokenizer_exec, peak, eff.tokenizer) +
+                  seconds(kFwdBwd * (agg_scores_exec + agg_proj_exec), peak,
+                          eff.attention) +
+                  seconds(vit_factor * vit_exec, peak, eff.transformer) +
+                  seconds(kFwdBwd * head_exec, peak, eff.transformer);
+
+  // ----- communication --------------------------------------------------------
+  const double act_bytes = 2.0;
+  if (tp > 1) {
+    // Megatron TP: 2 AllReduce per block forward + 2 backward over the
+    // block activations [B, S, D].
+    const double per_block = B * S * D * act_bytes;
+    est.tp_comm_s = 4.0 * static_cast<double>(cfg.num_layers) *
+                    cost.all_reduce_s(per_block, tp,
+                                      placement.tp_ranks_per_node);
+    if (dchag.enabled) {
+      // One AllGather of a single channel representation per rank in the
+      // forward pass; the backward needs no communication (§3.3).
+      est.frontend_comm_s = cost.all_gather_s(
+          B * S * static_cast<double>(tp) * D * act_bytes, tp,
+          placement.tp_ranks_per_node);
+    }
+  }
+
+  // FSDP: AllGather bf16 params once for forward and once for backward,
+  // ReduceScatter bf16 grads. Param bytes = this TP rank's model shard.
+  if (layout.fsdp > 1) {
+    ParallelLayout unsharded{layout.tp, 1, 1};
+    const MemoryBreakdown m = estimate_memory(cfg, w, unsharded, dchag);
+    const double param_bf16_bytes =
+        (m.tokenizer_state_gb + m.aggregation_state_gb +
+         m.transformer_state_gb) *
+        1e9 / 8.0;  // state is 16 B/param; bf16 copy is 2 B/param
+    est.fsdp_comm_s =
+        2.0 * cost.all_gather_s(param_bf16_bytes, layout.fsdp,
+                                placement.fsdp_ranks_per_node) +
+        cost.reduce_scatter_s(param_bf16_bytes, layout.fsdp,
+                              placement.fsdp_ranks_per_node);
+  }
+
+  // DP: one gradient AllReduce per step over the FSDP-sharded state.
+  if (layout.dp > 1) {
+    ParallelLayout tp_only{layout.tp, 1, 1};
+    const MemoryBreakdown m = estimate_memory(cfg, w, tp_only, dchag);
+    const double grad_bytes = (m.tokenizer_state_gb +
+                               m.aggregation_state_gb +
+                               m.transformer_state_gb) *
+                              1e9 / 8.0 / layout.fsdp;
+    est.dp_comm_s = cost.all_reduce_s(grad_bytes, layout.dp,
+                                      placement.dp_ranks_per_node);
+  }
+
+  est.step_s = est.compute_s + est.comm_s();
+
+  // ----- sustained throughput --------------------------------------------------
+  // FSDP and DP dimensions process distinct batches; TP shares one batch.
+  // Throughput is credited in *nominal* FM FLOPs — the baseline
+  // architecture's logical cost per sample, used as a common yardstick for
+  // every strategy (the convention behind the paper's TFLOPs/sec plots).
+  // Sustained-TFLOPs ratios between strategies therefore equal their
+  // samples/sec ratios.
+  const double global_batch =
+      B * static_cast<double>(layout.fsdp) * static_cast<double>(layout.dp);
+  const double logical_fwd = FlopModel::logical_forward_flops(
+      cfg, global_batch, w.channels, DchagSpec::off(), tp);
+  est.useful_tflop_per_step = kFwdBwd * logical_fwd / 1e12;
+  const double total_gpus = static_cast<double>(layout.total_gpus());
+  est.sustained_tflops_per_gpu =
+      est.useful_tflop_per_step / est.step_s / total_gpus;
+  est.sustained_tflops_per_node =
+      est.sustained_tflops_per_gpu * machine.gpus_per_node;
+  return est;
+}
+
+}  // namespace dchag::hw

@@ -1,0 +1,39 @@
+// End-to-end training-step estimator: combines the FLOP model, the
+// efficiency spec, and the communication cost model into step time and
+// sustained TFLOPs — the quantities the paper's Figs. 6, 13, 15 and 16
+// report. "Sustained" counts only the logical model FLOPs (redundant
+// recomputation, e.g. baseline TP tokenizing every channel on every rank,
+// burns time but earns no credit), matching how the paper computes
+// TFLOPs/sec from model FLOPs and wall clock.
+#pragma once
+
+#include "hw/comm_model.hpp"
+#include "hw/flop_model.hpp"
+#include "hw/memory_model.hpp"
+
+namespace dchag::hw {
+
+struct StepEstimate {
+  double compute_s = 0;      ///< per-GPU executed compute time
+  double tp_comm_s = 0;      ///< Megatron-style per-block collectives
+  double frontend_comm_s = 0;  ///< dist-tok / D-CHAG AllGather
+  double fsdp_comm_s = 0;
+  double dp_comm_s = 0;
+  double step_s = 0;
+
+  double useful_tflop_per_step = 0;  ///< logical fwd+bwd, global batch
+  double sustained_tflops_per_gpu = 0;
+  double sustained_tflops_per_node = 0;
+
+  [[nodiscard]] double comm_s() const {
+    return tp_comm_s + frontend_comm_s + fsdp_comm_s + dp_comm_s;
+  }
+};
+
+[[nodiscard]] StepEstimate estimate_step(const ModelConfig& cfg,
+                                         const Workload& w,
+                                         const ParallelLayout& layout,
+                                         const DchagSpec& dchag,
+                                         const MachineSpec& machine);
+
+}  // namespace dchag::hw

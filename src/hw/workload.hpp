@@ -1,0 +1,50 @@
+// Workload and parallel-layout descriptors for the analytic model.
+#pragma once
+
+#include "model/aggregation.hpp"
+#include "model/config.hpp"
+
+namespace dchag::hw {
+
+using model::AggLayerKind;
+using model::Index;
+using model::ModelConfig;
+
+struct Workload {
+  Index batch_per_gpu = 8;
+  Index channels = 64;
+  /// ViT blocks run with activation checkpointing (store block inputs,
+  /// recompute internals) — standard practice at these model sizes.
+  bool checkpoint_vit = true;
+};
+
+/// Process-group factorisation (paper §3.4, Fig. 5): TP groups innermost
+/// (D-CHAG shares the TP group), FSDP across TP groups, DP outermost.
+struct ParallelLayout {
+  int tp = 1;
+  int fsdp = 1;
+  int dp = 1;
+
+  [[nodiscard]] int total_gpus() const { return tp * fsdp * dp; }
+  void validate() const {
+    DCHAG_CHECK(tp >= 1 && fsdp >= 1 && dp >= 1, "invalid layout");
+  }
+};
+
+/// D-CHAG configuration. When enabled, tokenization and the partial
+/// aggregation tree are split across the TP group; `tree_units` is the
+/// paper's TreeN (0/1 = single local aggregation layer), `kind` selects
+/// -C vs -L partial layers. The final shared aggregation is always
+/// cross-attention.
+struct DchagSpec {
+  bool enabled = false;
+  Index tree_units = 1;
+  AggLayerKind kind = AggLayerKind::kLinear;
+
+  static DchagSpec off() { return {}; }
+  static DchagSpec tree(Index units, AggLayerKind k) {
+    return {true, units < 1 ? 1 : units, k};
+  }
+};
+
+}  // namespace dchag::hw

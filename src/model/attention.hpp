@@ -1,0 +1,113 @@
+// Attention modules: multi-head self-attention (ViT blocks) and the two
+// channel-aggregation unit types the paper studies — cross-attention (-C)
+// and lightweight linear (-L).
+#pragma once
+
+#include <memory>
+
+#include "model/config.hpp"
+#include "tensor/module.hpp"
+
+namespace dchag::model {
+
+using autograd::LayerNorm;
+using autograd::Linear;
+using autograd::Module;
+using autograd::Variable;
+using tensor::Rng;
+
+namespace detail {
+/// [*, N, D] -> [*, h, N, dh]: split heads ahead of the token dimension.
+[[nodiscard]] Variable split_heads(const Variable& x, Index heads);
+/// Inverse of split_heads: [*, h, N, dh] -> [*, N, h*dh].
+[[nodiscard]] Variable merge_heads(const Variable& x);
+/// softmax(q k^T / sqrt(dh)) v on head-split operands
+/// q: [*, h, Nq, dh], k/v: [*, h, Nk, dh].
+[[nodiscard]] Variable scaled_attention(const Variable& q, const Variable& k,
+                                        const Variable& v);
+}  // namespace detail
+
+/// Standard multi-head self-attention over the last-but-one dimension:
+/// input [*, S, D] -> output [*, S, D].
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(Index dim, Index heads, Rng& rng,
+                         const std::string& name = "attn");
+
+  [[nodiscard]] Variable forward(const Variable& x) const;
+
+ private:
+  Index dim_;
+  Index heads_;
+  std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
+};
+
+/// Interface for anything that reduces channel tokens [B, S, C, D] to a
+/// single representation [B, S, D]. Implementations: cross-attention unit,
+/// linear unit, the hierarchical tree (aggregation.hpp), and D-CHAG's
+/// distributed aggregator (core/).
+class ChannelAggregator : public Module {
+ public:
+  [[nodiscard]] virtual Variable forward(const Variable& tokens) const = 0;
+  /// Number of channel tokens this aggregator consumes.
+  [[nodiscard]] virtual Index width() const = 0;
+};
+
+/// Cross-attention channel aggregation (paper §2.1). With
+/// QueryMode::kChannelTokens the C channel tokens attend over themselves
+/// (C x C score matrix — quadratic in C, matching the paper's memory
+/// analysis) and the result is mean-pooled; with kLearnedQuery a single
+/// learned query attends over the C tokens (linear in C).
+///
+/// Cross-attention is width-agnostic: forward() accepts ANY channel count
+/// 1..width(). This is the property the paper highlights in §2.1 — the
+/// model can "generalize or fine-tune on subsets of the original channel
+/// dimensions while still leveraging the full model capacity".
+class CrossAttentionAggregator : public ChannelAggregator {
+ public:
+  CrossAttentionAggregator(Index dim, Index heads, Index channels,
+                           QueryMode mode, Rng& rng,
+                           const std::string& name = "xattn");
+
+  /// tokens: [B, S, W, D] with 1 <= W <= width() -> [B, S, D].
+  [[nodiscard]] Variable forward(const Variable& tokens) const override;
+  [[nodiscard]] Index width() const override { return channels_; }
+  [[nodiscard]] QueryMode mode() const { return mode_; }
+
+ private:
+  Index dim_;
+  Index heads_;
+  Index channels_;
+  QueryMode mode_;
+  std::unique_ptr<LayerNorm> ln_;
+  std::unique_ptr<Linear> wq_, wk_, wv_, wo_;
+  Variable query_;  // defined only for kLearnedQuery
+};
+
+/// Lightweight linear aggregation unit (paper §3.2/-L variants): a learned
+/// convex-ish combination over the channel dimension followed by an output
+/// projection. Parameter cost is width + D^2 + D (vs 4 D^2 for
+/// cross-attention), which is why -L wins at scale (paper Fig. 9/13).
+class LinearAggregator : public ChannelAggregator {
+ public:
+  LinearAggregator(Index dim, Index channels, Rng& rng,
+                   const std::string& name = "linagg");
+
+  /// tokens: [B, S, C, D] -> [B, S, D].
+  [[nodiscard]] Variable forward(const Variable& tokens) const override;
+  [[nodiscard]] Index width() const override { return channels_; }
+
+ private:
+  Index dim_;
+  Index channels_;
+  std::unique_ptr<LayerNorm> ln_;
+  Variable combine_;  // [C] channel mixing weights
+  std::unique_ptr<Linear> proj_;
+};
+
+/// Factory used by the aggregation tree and D-CHAG partial modules.
+[[nodiscard]] std::unique_ptr<ChannelAggregator> make_aggregator(
+    AggLayerKind kind, Index dim, Index heads, Index channels,
+    QueryMode mode, Rng& rng, const std::string& name);
+
+}  // namespace dchag::model

@@ -1,0 +1,163 @@
+// Architecture description shared by the executable layers (model/, core/)
+// and the analytic hardware model (hw/). The parameter-count formulas here
+// are validated against the executable modules' actual parameter counts in
+// tests/model/config_test.cpp, so the at-scale memory projections rest on
+// audited arithmetic.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "tensor/shape.hpp"
+
+namespace dchag::model {
+
+using tensor::Index;
+
+/// How the channel-aggregation cross-attention forms its queries.
+///
+/// kChannelTokens: the channel tokens attend over themselves (C queries x
+/// C keys) and the attended output is mean-pooled to one representation.
+/// Memory is quadratic in C — this matches the paper's complexity
+/// statements (§2.1, §3.2) and is the default.
+///
+/// kLearnedQuery: one learned query per spatial location (ClimaX-style);
+/// memory is linear in C. Provided as an ablation (bench/ablation_aggregation).
+enum class QueryMode { kChannelTokens, kLearnedQuery };
+
+/// Layer type used inside the partial-channel aggregation module.
+/// The final aggregation shared across ranks is always cross-attention
+/// (paper §3.3); this only selects the local tree's layers:
+/// -C (cross-attention) vs -L (linear), per the paper's naming.
+enum class AggLayerKind { kCrossAttention, kLinear };
+
+[[nodiscard]] inline const char* to_string(AggLayerKind k) {
+  return k == AggLayerKind::kCrossAttention ? "C" : "L";
+}
+
+struct ModelConfig {
+  std::string name = "custom";
+  Index embed_dim = 64;
+  Index num_layers = 2;
+  Index num_heads = 4;
+  Index mlp_ratio = 4;
+  Index patch_size = 16;
+  Index image_h = 224;
+  Index image_w = 224;
+  QueryMode query_mode = QueryMode::kChannelTokens;
+
+  [[nodiscard]] Index seq_len() const {
+    return (image_h / patch_size) * (image_w / patch_size);
+  }
+  [[nodiscard]] Index head_dim() const { return embed_dim / num_heads; }
+
+  void validate() const {
+    DCHAG_CHECK(embed_dim > 0 && num_layers > 0 && num_heads > 0,
+                "invalid model dims");
+    DCHAG_CHECK(embed_dim % num_heads == 0,
+                "embed_dim " << embed_dim << " not divisible by heads "
+                             << num_heads);
+    DCHAG_CHECK(image_h % patch_size == 0 && image_w % patch_size == 0,
+                "image " << image_h << "x" << image_w
+                         << " not divisible by patch " << patch_size);
+  }
+
+  // ----- analytic parameter counts (validated against executable layers) ---
+
+  /// Per-channel patch embedding (p^2 x D weight + D bias per channel),
+  /// one channel-ID embedding per channel, plus one shared positional
+  /// embedding over the sequence.
+  [[nodiscard]] Index tokenizer_params(Index channels) const {
+    const Index p2 = patch_size * patch_size;
+    return channels * (p2 * embed_dim + embed_dim)  // per-channel embed
+           + channels * embed_dim                   // channel-ID embeddings
+           + seq_len() * embed_dim;                 // positional embedding
+  }
+
+  /// One aggregation unit reducing `width` channel tokens to one.
+  [[nodiscard]] Index aggregator_params(AggLayerKind kind,
+                                        Index width) const {
+    const Index d = embed_dim;
+    if (kind == AggLayerKind::kCrossAttention) {
+      // Wq, Wk, Wv, Wo (d x d each + bias) + pre-LN (+ learned query).
+      Index p = 4 * (d * d + d) + 2 * d;
+      if (query_mode == QueryMode::kLearnedQuery) p += d;
+      return p;
+    }
+    // Linear unit: learned channel-combine weights + output projection + LN.
+    return width + (d * d + d) + 2 * d;
+  }
+
+  /// Standard pre-LN transformer blocks: attention (4 d^2) + MLP
+  /// (2 * mlp_ratio * d^2) + biases + two LayerNorms per block, plus the
+  /// final encoder LayerNorm.
+  [[nodiscard]] Index transformer_params() const {
+    const Index d = embed_dim;
+    const Index per_block = 4 * (d * d + d)                        // attn
+                            + (d * (mlp_ratio * d) + mlp_ratio * d)  // mlp up
+                            + (mlp_ratio * d * d + d)                // mlp down
+                            + 4 * d;                                 // 2 LNs
+    return num_layers * per_block + 2 * d;
+  }
+
+  /// Named presets. 7B/15B/26B use the dims stated in the paper (§6.1);
+  /// the smaller presets are ViT-family interpolations sized to the
+  /// parameter counts the paper quotes.
+  static ModelConfig preset(std::string_view name);
+
+  /// A deliberately small config for unit tests and CPU training runs.
+  static ModelConfig tiny();
+};
+
+inline ModelConfig ModelConfig::preset(std::string_view name) {
+  ModelConfig c;
+  c.name = std::string(name);
+  if (name == "100M") {
+    c.embed_dim = 768;
+    c.num_layers = 12;
+    c.num_heads = 12;
+  } else if (name == "1B") {
+    c.embed_dim = 1536;
+    c.num_layers = 28;
+    c.num_heads = 16;
+  } else if (name == "1.7B") {
+    c.embed_dim = 2048;
+    c.num_layers = 32;
+    c.num_heads = 16;
+  } else if (name == "3B") {
+    c.embed_dim = 2560;
+    c.num_layers = 36;
+    c.num_heads = 20;
+  } else if (name == "7B") {  // paper: 4096 embed, 32 layers, 32 heads
+    c.embed_dim = 4096;
+    c.num_layers = 32;
+    c.num_heads = 32;
+  } else if (name == "15B") {  // paper: 6144 embed, 32 layers, 32 heads
+    c.embed_dim = 6144;
+    c.num_layers = 32;
+    c.num_heads = 32;
+  } else if (name == "26B") {  // paper: 8192 embed, 32 layers, 32 heads
+    c.embed_dim = 8192;
+    c.num_layers = 32;
+    c.num_heads = 32;
+  } else {
+    DCHAG_FAIL("unknown model preset '" << name << "'");
+  }
+  c.validate();
+  return c;
+}
+
+inline ModelConfig ModelConfig::tiny() {
+  ModelConfig c;
+  c.name = "tiny";
+  c.embed_dim = 32;
+  c.num_layers = 2;
+  c.num_heads = 4;
+  c.patch_size = 4;
+  c.image_h = 16;
+  c.image_w = 16;
+  c.validate();
+  return c;
+}
+
+}  // namespace dchag::model

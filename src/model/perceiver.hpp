@@ -1,0 +1,48 @@
+// Perceiver-style channel fusion (paper §3.5): Aurora replaces the single
+// cross-attention aggregation with a Perceiver module — a small set of
+// learned latent tokens iteratively cross-attending to the channel tokens.
+// The paper argues such a heavier fusion module "is likely to show even
+// greater performance benefits from D-CHAG"; this implementation plugs
+// into the same ChannelAggregator interface, so it composes with the
+// hierarchical tree and the D-CHAG front-end unchanged
+// (bench/ablation_aggregation reports the cost comparison).
+#pragma once
+
+#include "model/attention.hpp"
+
+namespace dchag::model {
+
+class PerceiverAggregator : public ChannelAggregator {
+ public:
+  /// `latents` learned query tokens, `iterations` cross-attend+MLP rounds.
+  PerceiverAggregator(Index dim, Index heads, Index channels, Index latents,
+                      Index iterations, Rng& rng,
+                      const std::string& name = "perceiver");
+
+  /// tokens: [B, S, C, D] -> [B, S, D] (mean over the final latents).
+  [[nodiscard]] Variable forward(const Variable& tokens) const override;
+  [[nodiscard]] Index width() const override { return channels_; }
+  [[nodiscard]] Index num_latents() const { return latents_; }
+  [[nodiscard]] Index num_iterations() const {
+    return static_cast<Index>(blocks_.size());
+  }
+
+ private:
+  struct Block {
+    std::unique_ptr<LayerNorm> ln_q, ln_kv, ln_mlp;
+    std::unique_ptr<Linear> wq, wk, wv, wo, mlp_up, mlp_down;
+  };
+
+  Index dim_;
+  Index heads_;
+  Index channels_;
+  Index latents_;
+  Variable latent_tokens_;  // [K, D]
+  std::vector<Block> blocks_;
+};
+
+/// Analytic parameter count (mirrors the module; used by tests/hw).
+[[nodiscard]] Index perceiver_params(Index dim, Index latents,
+                                     Index iterations, Index mlp_ratio = 2);
+
+}  // namespace dchag::model

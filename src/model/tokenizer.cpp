@@ -1,0 +1,137 @@
+#include "model/tokenizer.hpp"
+
+#include <numeric>
+
+namespace dchag::model {
+
+namespace ops = tensor::ops;
+
+Tensor patchify(const Tensor& images, Index patch) {
+  DCHAG_CHECK(images.rank() == 4, "patchify expects [B, C, H, W], got "
+                                      << images.shape().to_string());
+  const Index B = images.dim(0);
+  const Index C = images.dim(1);
+  const Index H = images.dim(2);
+  const Index W = images.dim(3);
+  DCHAG_CHECK(H % patch == 0 && W % patch == 0,
+              "image " << H << "x" << W << " not divisible by patch "
+                       << patch);
+  const Index gh = H / patch;
+  const Index gw = W / patch;
+  Tensor out(Shape{B, C, gh * gw, patch * patch});
+  const float* src = images.data();
+  float* dst = out.data();
+  for (Index b = 0; b < B; ++b) {
+    for (Index c = 0; c < C; ++c) {
+      const float* img = src + (b * C + c) * H * W;
+      float* chan = dst + (b * C + c) * gh * gw * patch * patch;
+      for (Index py = 0; py < gh; ++py) {
+        for (Index px = 0; px < gw; ++px) {
+          float* cell = chan + (py * gw + px) * patch * patch;
+          for (Index y = 0; y < patch; ++y) {
+            const float* row = img + (py * patch + y) * W + px * patch;
+            for (Index x = 0; x < patch; ++x) cell[y * patch + x] = row[x];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+Tensor unpatchify(const Tensor& patches, Index patch, Index h, Index w) {
+  DCHAG_CHECK(patches.rank() == 4, "unpatchify expects [B, C, S, p*p]");
+  const Index B = patches.dim(0);
+  const Index C = patches.dim(1);
+  const Index gh = h / patch;
+  const Index gw = w / patch;
+  DCHAG_CHECK(patches.dim(2) == gh * gw &&
+                  patches.dim(3) == patch * patch,
+              "unpatchify shape mismatch: " << patches.shape().to_string());
+  Tensor out(Shape{B, C, h, w});
+  const float* src = patches.data();
+  float* dst = out.data();
+  for (Index b = 0; b < B; ++b) {
+    for (Index c = 0; c < C; ++c) {
+      const float* chan = src + (b * C + c) * gh * gw * patch * patch;
+      float* img = dst + (b * C + c) * h * w;
+      for (Index py = 0; py < gh; ++py) {
+        for (Index px = 0; px < gw; ++px) {
+          const float* cell = chan + (py * gw + px) * patch * patch;
+          for (Index y = 0; y < patch; ++y) {
+            float* row = img + (py * patch + y) * w + px * patch;
+            for (Index x = 0; x < patch; ++x) row[x] = cell[y * patch + x];
+          }
+        }
+      }
+    }
+  }
+  return out;
+}
+
+namespace {
+std::vector<Index> iota_channels(Index channels) {
+  std::vector<Index> ids(static_cast<std::size_t>(channels));
+  std::iota(ids.begin(), ids.end(), Index{0});
+  return ids;
+}
+}  // namespace
+
+PatchTokenizer::PatchTokenizer(const ModelConfig& cfg,
+                               std::vector<Index> channel_ids, Rng& rng)
+    : cfg_(cfg), channel_ids_(std::move(channel_ids)) {
+  cfg_.validate();
+  DCHAG_CHECK(!channel_ids_.empty(), "tokenizer needs at least one channel");
+  const Index p2 = cfg_.patch_size * cfg_.patch_size;
+  const Index d = cfg_.embed_dim;
+  embeds_.reserve(channel_ids_.size());
+  Tensor chan_emb(Shape{num_channels(), d});
+  for (std::size_t i = 0; i < channel_ids_.size(); ++i) {
+    const Index gid = channel_ids_[i];
+    // Weights derive from the *global* channel id so that any partition of
+    // the channels across ranks reproduces the same per-channel weights.
+    Rng chan_rng = rng.fork(static_cast<std::uint64_t>(gid) + 1);
+    embeds_.push_back(std::make_unique<Linear>(
+        p2, d, chan_rng, "tokenizer.embed" + std::to_string(gid)));
+    register_child(*embeds_.back());
+    Tensor e = chan_rng.normal_tensor(Shape{d}, 0.0f, 0.02f);
+    std::copy(e.span().begin(), e.span().end(),
+              chan_emb.data() + static_cast<Index>(i) * d);
+  }
+  channel_emb_ = register_param("tokenizer.channel_emb", chan_emb);
+  Rng pos_rng = rng.fork(0);
+  pos_emb_ = register_param(
+      "tokenizer.pos_emb",
+      pos_rng.normal_tensor(Shape{cfg_.seq_len(), d}, 0.0f, 0.02f));
+}
+
+PatchTokenizer::PatchTokenizer(const ModelConfig& cfg, Index channels,
+                               Rng& rng)
+    : PatchTokenizer(cfg, iota_channels(channels), rng) {}
+
+Variable PatchTokenizer::forward(const Tensor& images) const {
+  DCHAG_CHECK(images.rank() == 4 && images.dim(1) == num_channels(),
+              "tokenizer expects [B, " << num_channels() << ", H, W], got "
+                                       << images.shape().to_string());
+  const Index B = images.dim(0);
+  const Index S = cfg_.seq_len();
+  const Index p2 = cfg_.patch_size * cfg_.patch_size;
+  Tensor patches = patchify(images, cfg_.patch_size);  // [B, C, S, p2]
+
+  std::vector<Variable> per_channel;
+  per_channel.reserve(static_cast<std::size_t>(num_channels()));
+  for (Index c = 0; c < num_channels(); ++c) {
+    Tensor chan = tensor::ops::slice(patches, 1, c, 1)
+                      .reshape(Shape{B, S, p2});
+    Variable tok = embeds_[static_cast<std::size_t>(c)]->forward(
+        Variable::input(chan));                          // [B, S, D]
+    Variable cid = autograd::slice(channel_emb_, 0, c, 1);  // [1, D]
+    tok = autograd::add(tok, cid);      // broadcast channel-ID embedding
+    tok = autograd::add(tok, pos_emb_); // broadcast positional embedding
+    per_channel.push_back(
+        autograd::reshape(tok, Shape{B, 1, S, cfg_.embed_dim}));
+  }
+  return autograd::concat(per_channel, 1);  // [B, C, S, D]
+}
+
+}  // namespace dchag::model

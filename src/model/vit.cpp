@@ -1,0 +1,48 @@
+#include "model/vit.hpp"
+
+namespace dchag::model {
+
+ViTBlock::ViTBlock(const ModelConfig& cfg, Rng& rng,
+                   const std::string& name) {
+  Rng r = rng.fork(std::hash<std::string>{}(name));
+  const Index d = cfg.embed_dim;
+  const Index hidden = cfg.mlp_ratio * d;
+  ln1_ = std::make_unique<LayerNorm>(d, name + ".ln1");
+  attn_ = std::make_unique<MultiHeadSelfAttention>(d, cfg.num_heads, r,
+                                                   name + ".attn");
+  ln2_ = std::make_unique<LayerNorm>(d, name + ".ln2");
+  mlp_up_ = std::make_unique<Linear>(d, hidden, r, name + ".mlp_up");
+  mlp_down_ = std::make_unique<Linear>(hidden, d, r, name + ".mlp_down");
+  register_child(*ln1_);
+  register_child(*attn_);
+  register_child(*ln2_);
+  register_child(*mlp_up_);
+  register_child(*mlp_down_);
+}
+
+Variable ViTBlock::forward(const Variable& x) const {
+  Variable h = autograd::add(x, attn_->forward(ln1_->forward(x)));
+  Variable mlp =
+      mlp_down_->forward(autograd::gelu(mlp_up_->forward(ln2_->forward(h))));
+  return autograd::add(h, mlp);
+}
+
+ViTEncoder::ViTEncoder(const ModelConfig& cfg, Rng& rng,
+                       const std::string& name) {
+  blocks_.reserve(static_cast<std::size_t>(cfg.num_layers));
+  for (Index i = 0; i < cfg.num_layers; ++i) {
+    blocks_.push_back(std::make_unique<ViTBlock>(
+        cfg, rng, name + ".block" + std::to_string(i)));
+    register_child(*blocks_.back());
+  }
+  final_ln_ = std::make_unique<LayerNorm>(cfg.embed_dim, name + ".final_ln");
+  register_child(*final_ln_);
+}
+
+Variable ViTEncoder::forward(const Variable& x) const {
+  Variable h = x;
+  for (const auto& block : blocks_) h = block->forward(h);
+  return final_ln_->forward(h);
+}
+
+}  // namespace dchag::model

@@ -1,0 +1,42 @@
+// Vision Transformer encoder operating on the aggregated spatial tokens
+// (paper Fig. 1, right): standard pre-LN blocks with MHSA + GELU MLP.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "model/attention.hpp"
+
+namespace dchag::model {
+
+class ViTBlock : public Module {
+ public:
+  ViTBlock(const ModelConfig& cfg, Rng& rng, const std::string& name);
+
+  /// x: [B, S, D] -> [B, S, D].
+  [[nodiscard]] Variable forward(const Variable& x) const;
+
+ private:
+  std::unique_ptr<LayerNorm> ln1_, ln2_;
+  std::unique_ptr<MultiHeadSelfAttention> attn_;
+  std::unique_ptr<Linear> mlp_up_, mlp_down_;
+};
+
+class ViTEncoder : public Module {
+ public:
+  ViTEncoder(const ModelConfig& cfg, Rng& rng,
+             const std::string& name = "vit");
+
+  /// x: [B, S, D] -> [B, S, D].
+  [[nodiscard]] Variable forward(const Variable& x) const;
+
+  [[nodiscard]] Index num_blocks() const {
+    return static_cast<Index>(blocks_.size());
+  }
+
+ private:
+  std::vector<std::unique_ptr<ViTBlock>> blocks_;
+  std::unique_ptr<LayerNorm> final_ln_;
+};
+
+}  // namespace dchag::model

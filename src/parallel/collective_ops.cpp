@@ -1,0 +1,81 @@
+#include "parallel/collective_ops.hpp"
+
+namespace dchag::parallel {
+
+namespace ops = tensor::ops;
+using tensor::Shape;
+using tensor::Tensor;
+
+Variable reduce_from_parallel(const Variable& x, Communicator& comm) {
+  Tensor out = x.value().clone();
+  comm.all_reduce(out.span(), comm::ReduceOp::kSum);
+  auto nx = x.node();
+  return autograd::make_op(std::move(out), {x}, [nx](const Tensor& g) {
+    autograd::accumulate_grad(*nx, g);  // identity backward
+  });
+}
+
+Variable copy_to_parallel(const Variable& x, Communicator& comm) {
+  auto nx = x.node();
+  Communicator* c = &comm;
+  return autograd::make_op(x.value(), {x}, [nx, c](const Tensor& g) {
+    Tensor gr = g.clone();
+    c->all_reduce(gr.span(), comm::ReduceOp::kSum);
+    autograd::accumulate_grad(*nx, gr);
+  });
+}
+
+Variable all_gather_cat(const Variable& x, Communicator& comm, Index dim,
+                        GatherBackward backward) {
+  const int P = comm.size();
+  const int rank = comm.rank();
+  const Index d = dim >= 0 ? dim : dim + x.shape().rank();
+  const Index n_local = x.shape().dim(d);
+
+  // Gather the raw contiguous buffers, then reassemble along `dim`.
+  Tensor flat(Shape{static_cast<Index>(P), x.shape().numel()});
+  comm.all_gather(x.value().span(), flat.span());
+  std::vector<Tensor> pieces;
+  pieces.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    pieces.push_back(flat.slice0(r, 1).reshape(x.shape()));
+  }
+  Tensor gathered = ops::concat(pieces, d);
+
+  auto nx = x.node();
+  Communicator* c = &comm;
+  return autograd::make_op(
+      std::move(gathered), {x},
+      [nx, c, d, n_local, rank, backward](const Tensor& g) {
+        if (backward == GatherBackward::kLocalSlice) {
+          // Downstream is replicated: my shard's gradient is simply my
+          // slice of the (identical-everywhere) upstream gradient.
+          autograd::accumulate_grad(
+              *nx, ops::slice(g, d, rank * n_local, n_local));
+          return;
+        }
+        // General case: sum gradient slices across ranks.
+        Tensor gr = g.clone();
+        c->all_reduce(gr.span(), comm::ReduceOp::kSum);
+        autograd::accumulate_grad(
+            *nx, ops::slice(gr, d, rank * n_local, n_local));
+      });
+}
+
+void sync_parameters(std::span<const Variable> params, Communicator& comm,
+                     int root) {
+  for (const Variable& p : params) {
+    Tensor v = p.value();  // aliases the parameter storage
+    comm.broadcast(v.span(), root);
+  }
+}
+
+bool is_replicated(const tensor::Tensor& t, Communicator& comm, float tol) {
+  Tensor mx = t.clone();
+  Tensor mn = t.clone();
+  comm.all_reduce(mx.span(), comm::ReduceOp::kMax);
+  comm.all_reduce(mn.span(), comm::ReduceOp::kMin);
+  return ops::max_abs_diff(mx, mn) <= tol;
+}
+
+}  // namespace dchag::parallel

@@ -1,0 +1,35 @@
+// Data-parallel gradient synchronisation (paper §2.2): one AllReduce per
+// parameter gradient at the end of the backward pass; no communication in
+// the forward pass.
+#pragma once
+
+#include "parallel/collective_ops.hpp"
+
+namespace dchag::parallel {
+
+/// Averages the gradients of `params` across the DP group in place.
+/// Parameters without gradients are skipped symmetrically, so ranks must
+/// run identical graphs (standard DP contract).
+inline void all_reduce_gradients(std::span<const Variable> params,
+                                 Communicator& comm) {
+  for (const Variable& p : params) {
+    if (!p.requires_grad()) continue;
+    DCHAG_CHECK(p.has_grad(), "all_reduce_gradients: parameter '"
+                                  << p.name() << "' has no gradient");
+    tensor::Tensor g = p.node()->grad;  // aliases grad storage
+    comm.all_reduce(g.span(), comm::ReduceOp::kAvg);
+  }
+}
+
+/// True iff every parameter VALUE is identical across the group — the
+/// replica-consistency invariant DP training must maintain.
+inline bool parameters_in_sync(std::span<const Variable> params,
+                               Communicator& comm, float tol = 0.0f) {
+  bool ok = true;
+  for (const Variable& p : params) {
+    ok = is_replicated(p.value(), comm, tol) && ok;
+  }
+  return ok;
+}
+
+}  // namespace dchag::parallel

@@ -1,0 +1,42 @@
+#include "parallel/dist_tokenizer.hpp"
+
+namespace dchag::parallel {
+
+std::vector<Index> channel_shard(Index channels, int world, int rank) {
+  DCHAG_CHECK(world >= 1 && rank >= 0 && rank < world, "bad shard query");
+  DCHAG_CHECK(channels % world == 0, "channels " << channels
+                                                 << " not divisible by world "
+                                                 << world);
+  const Index per = channels / world;
+  std::vector<Index> ids(static_cast<std::size_t>(per));
+  for (Index i = 0; i < per; ++i) ids[static_cast<std::size_t>(i)] = rank * per + i;
+  return ids;
+}
+
+DistributedTokenizer::DistributedTokenizer(const model::ModelConfig& cfg,
+                                           Index total_channels,
+                                           Communicator& comm,
+                                           tensor::Rng& rng)
+    : total_channels_(total_channels), comm_(&comm) {
+  tokenizer_ = std::make_unique<model::PatchTokenizer>(
+      cfg, channel_shard(total_channels, comm.size(), comm.rank()), rng);
+  register_child(*tokenizer_);
+}
+
+Variable DistributedTokenizer::forward_local(
+    const tensor::Tensor& local_images) const {
+  return tokenizer_->forward(local_images);  // [B, C/P, S, D]
+}
+
+Variable DistributedTokenizer::forward(
+    const tensor::Tensor& local_images) const {
+  Variable local = forward_local(local_images);
+  // The gathered tensor feeds a replicated aggregator, so the upstream
+  // gradient is identical on every rank and each rank takes its own
+  // channel slice locally (GatherBackward::kLocalSlice). Summing across
+  // ranks here would overcount by the group size.
+  return all_gather_cat(local, *comm_, /*dim=*/1,
+                        GatherBackward::kLocalSlice);
+}
+
+}  // namespace dchag::parallel

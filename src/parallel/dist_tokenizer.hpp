@@ -1,0 +1,47 @@
+// Distributed channel tokenization (paper §3.1, Fig. 2 bottom): each TP
+// rank tokenizes a contiguous slice of the channels, then an AllGather
+// over the channel dimension rebuilds the full token tensor on every rank
+// so a monolithic aggregator can run. The paper shows this intermediate
+// scheme saves tokenization memory but the AllGather negates the win
+// (Fig. 8) — D-CHAG (core/) replaces the full gather with local
+// aggregation.
+#pragma once
+
+#include "model/tokenizer.hpp"
+#include "parallel/collective_ops.hpp"
+
+namespace dchag::parallel {
+
+/// Contiguous partition of `channels` across `world` ranks. Requires
+/// divisibility (the paper's experiments use powers of two throughout).
+[[nodiscard]] std::vector<Index> channel_shard(Index channels, int world,
+                                               int rank);
+
+class DistributedTokenizer : public autograd::Module {
+ public:
+  DistributedTokenizer(const model::ModelConfig& cfg, Index total_channels,
+                       Communicator& comm, tensor::Rng& rng);
+
+  /// local_images: [B, C/P, H, W] (this rank's channel slice).
+  /// Returns the FULL token tensor [B, C, S, D], identical on all ranks.
+  [[nodiscard]] Variable forward(const tensor::Tensor& local_images) const;
+
+  /// Tokens for the local channels only, [B, C/P, S, D] (D-CHAG path).
+  [[nodiscard]] Variable forward_local(
+      const tensor::Tensor& local_images) const;
+
+  [[nodiscard]] Index local_channels() const {
+    return tokenizer_->num_channels();
+  }
+  [[nodiscard]] Index total_channels() const { return total_channels_; }
+  [[nodiscard]] const model::PatchTokenizer& local_tokenizer() const {
+    return *tokenizer_;
+  }
+
+ private:
+  Index total_channels_;
+  Communicator* comm_;
+  std::unique_ptr<model::PatchTokenizer> tokenizer_;
+};
+
+}  // namespace dchag::parallel

@@ -1,0 +1,66 @@
+// Sequence parallelism (paper §3.5): distributes the token sequence
+// instead of the embedding dimension. The paper argues D-CHAG composes
+// with SP because both operate "just before the self-attention layers";
+// this module demonstrates that composition executably.
+//
+// Scheme (blockwise SP for a ViT): every rank owns a contiguous S/P slice
+// of the sequence. LayerNorm, MLP and residuals are purely local. For
+// attention, each rank AllGathers the keys/values over the full sequence
+// but computes attention only for its own query slice — no redundant
+// compute, one gather per block. Parameters are REPLICATED across the SP
+// group (SP shards activations, not weights), so parameter gradients must
+// be AllReduce-summed across the group after backward (sync_gradients()).
+#pragma once
+
+#include "model/vit.hpp"
+#include "parallel/collective_ops.hpp"
+
+namespace dchag::parallel {
+
+using model::ModelConfig;
+
+/// Scatter a replicated [B, S, D] tensor to this rank's [B, S/P, D] slice.
+[[nodiscard]] Variable scatter_sequence(const Variable& x,
+                                        Communicator& comm);
+/// Gather rank slices back to the replicated [B, S, D] (downstream of the
+/// gather must be replicated, e.g. the loss).
+[[nodiscard]] Variable gather_sequence(const Variable& x_local,
+                                       Communicator& comm);
+
+/// Pre-LN ViT block over a sequence shard.
+class SequenceParallelViTBlock : public autograd::Module {
+ public:
+  SequenceParallelViTBlock(const ModelConfig& cfg, Communicator& comm,
+                           tensor::Rng& rng, const std::string& name);
+
+  /// x_local: [B, S/P, D] -> [B, S/P, D].
+  [[nodiscard]] Variable forward(const Variable& x_local) const;
+
+ private:
+  Index heads_;
+  Communicator* comm_;
+  std::unique_ptr<autograd::LayerNorm> ln1_, ln2_;
+  std::unique_ptr<autograd::Linear> wq_, wk_, wv_, wo_, mlp_up_, mlp_down_;
+};
+
+/// Drop-in SP replacement for model::ViTEncoder (same seed => same math).
+class SequenceParallelViTEncoder : public autograd::Module {
+ public:
+  SequenceParallelViTEncoder(const ModelConfig& cfg, Communicator& comm,
+                             tensor::Rng& rng,
+                             const std::string& name = "vit");
+
+  /// x_local: [B, S/P, D] -> [B, S/P, D].
+  [[nodiscard]] Variable forward(const Variable& x_local) const;
+
+  /// AllReduce-sums parameter gradients across the SP group (weights are
+  /// replicated but each rank saw a different query slice). Call after
+  /// backward(), before the optimizer step.
+  void sync_gradients(Communicator& comm) const;
+
+ private:
+  std::vector<std::unique_ptr<SequenceParallelViTBlock>> blocks_;
+  std::unique_ptr<autograd::LayerNorm> final_ln_;
+};
+
+}  // namespace dchag::parallel

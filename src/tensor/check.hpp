@@ -1,0 +1,46 @@
+// Error-checking utilities shared by every dchag module.
+//
+// DCHAG_CHECK(cond, msg) throws dchag::Error (derived from
+// std::runtime_error) with file:line context. Checks are always on: the
+// library favours loud, early failure over silent shape corruption; the
+// predicates are O(rank) and never sit inside inner kernels.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dchag {
+
+/// Exception type thrown by all DCHAG_CHECK failures.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* file, int line,
+                                             const char* cond,
+                                             const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << cond;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace dchag
+
+#define DCHAG_CHECK(cond, msg)                                              \
+  do {                                                                      \
+    if (!(cond)) {                                                          \
+      ::dchag::detail::throw_check_failure(__FILE__, __LINE__, #cond,       \
+                                           (::std::ostringstream{} << msg) \
+                                               .str());                     \
+    }                                                                       \
+  } while (false)
+
+#define DCHAG_FAIL(msg)                                                  \
+  ::dchag::detail::throw_check_failure(__FILE__, __LINE__, "explicit",   \
+                                       (::std::ostringstream{} << msg)  \
+                                           .str())

@@ -1,0 +1,101 @@
+// Minimal parameter-container base class shared by all model layers.
+//
+// Concrete layers register their Variables (and child modules) so that
+// optimizers, FSDP sharding, and DP gradient reduction can enumerate every
+// trainable tensor in a deterministic order (registration order), which is
+// what keeps SPMD replicas bit-identical across ranks.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/autograd.hpp"
+#include "tensor/rng.hpp"
+
+namespace dchag::autograd {
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+  Module(Module&&) = default;
+  Module& operator=(Module&&) = default;
+  virtual ~Module() = default;
+
+  /// All trainable parameters, in deterministic registration order
+  /// (depth-first through child modules).
+  [[nodiscard]] std::vector<Variable> parameters() const {
+    std::vector<Variable> out;
+    collect_parameters(out);
+    return out;
+  }
+
+  [[nodiscard]] tensor::Index num_parameters() const {
+    tensor::Index n = 0;
+    for (const Variable& p : parameters()) n += p.shape().numel();
+    return n;
+  }
+
+  void zero_grad() const {
+    for (Variable& p : parameters()) p.zero_grad();
+  }
+
+  void collect_parameters(std::vector<Variable>& out) const {
+    for (const Variable& p : params_) out.push_back(p);
+    for (const Module* c : children_) c->collect_parameters(out);
+  }
+
+ protected:
+  Variable register_param(std::string name, tensor::Tensor init) {
+    Variable v = Variable::param(std::move(init), std::move(name));
+    params_.push_back(v);
+    return v;
+  }
+  /// Child must outlive this module (members registered in ctor order).
+  void register_child(const Module& child) { children_.push_back(&child); }
+
+ private:
+  std::vector<Variable> params_;
+  std::vector<const Module*> children_;
+};
+
+/// Dense layer y = x W + b with Xavier init; the workhorse of every module.
+class Linear : public Module {
+ public:
+  Linear(tensor::Index in, tensor::Index out, tensor::Rng& rng,
+         const std::string& name = "linear")
+      : weight_(register_param(name + ".weight",
+                               rng.xavier(tensor::Shape{in, out}))),
+        bias_(register_param(name + ".bias", tensor::Tensor({out}, 0.0f))) {}
+
+  [[nodiscard]] Variable forward(const Variable& x) const {
+    return add(matmul(x, weight_), bias_);
+  }
+
+  [[nodiscard]] const Variable& weight() const { return weight_; }
+  [[nodiscard]] const Variable& bias() const { return bias_; }
+
+ private:
+  Variable weight_;
+  Variable bias_;
+};
+
+/// LayerNorm over the last dimension with learnable gamma/beta.
+class LayerNorm : public Module {
+ public:
+  explicit LayerNorm(tensor::Index dim, const std::string& name = "ln")
+      : gamma_(register_param(name + ".gamma", tensor::Tensor({dim}, 1.0f))),
+        beta_(register_param(name + ".beta", tensor::Tensor({dim}, 0.0f))) {}
+
+  [[nodiscard]] Variable forward(const Variable& x) const {
+    return layernorm(x, gamma_, beta_);
+  }
+
+ private:
+  Variable gamma_;
+  Variable beta_;
+};
+
+}  // namespace dchag::autograd

@@ -1,0 +1,505 @@
+#include "tensor/ops.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <functional>
+
+namespace dchag::tensor::ops {
+
+namespace {
+
+std::atomic<std::uint64_t> g_flops{0};
+
+/// Right-aligned broadcast strides: pad `s` to rank `out_rank` and zero the
+/// stride of every broadcast dimension.
+std::vector<Index> broadcast_strides(const Shape& s, const Shape& out) {
+  const Index out_rank = out.rank();
+  const Index pad = out_rank - s.rank();
+  std::vector<Index> strides(static_cast<std::size_t>(out_rank), 0);
+  for (Index d = 0; d < s.rank(); ++d) {
+    const Index od = d + pad;
+    if (s.dim(d) == out.dim(od)) {
+      strides[static_cast<std::size_t>(od)] = s.stride(d);
+    } else {
+      DCHAG_CHECK(s.dim(d) == 1, "cannot broadcast " << s.to_string()
+                                                     << " to "
+                                                     << out.to_string());
+      strides[static_cast<std::size_t>(od)] = 0;
+    }
+  }
+  return strides;
+}
+
+Shape broadcast_shape(const Shape& a, const Shape& b) {
+  const Index rank = std::max(a.rank(), b.rank());
+  std::vector<Index> dims(static_cast<std::size_t>(rank), 1);
+  for (Index d = 0; d < rank; ++d) {
+    const Index ad = d - (rank - a.rank());
+    const Index bd = d - (rank - b.rank());
+    const Index av = ad >= 0 ? a.dim(ad) : 1;
+    const Index bv = bd >= 0 ? b.dim(bd) : 1;
+    DCHAG_CHECK(av == bv || av == 1 || bv == 1,
+                "incompatible broadcast " << a.to_string() << " vs "
+                                          << b.to_string());
+    dims[static_cast<std::size_t>(d)] = std::max(av, bv);
+  }
+  return Shape(std::move(dims));
+}
+
+template <typename F>
+Tensor binary_op(const Tensor& a, const Tensor& b, F&& f) {
+  if (a.shape() == b.shape()) {  // fast path, no index math
+    Tensor out(a.shape());
+    const float* pa = a.data();
+    const float* pb = b.data();
+    float* po = out.data();
+    const Index n = a.numel();
+    for (Index i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    return out;
+  }
+  const Shape out_shape = broadcast_shape(a.shape(), b.shape());
+  const auto sa = broadcast_strides(a.shape(), out_shape);
+  const auto sb = broadcast_strides(b.shape(), out_shape);
+  Tensor out(out_shape);
+  const Index rank = out_shape.rank();
+  std::vector<Index> idx(static_cast<std::size_t>(rank), 0);
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  Index oa = 0;
+  Index ob = 0;
+  const Index n = out_shape.numel();
+  for (Index i = 0; i < n; ++i) {
+    po[i] = f(pa[oa], pb[ob]);
+    // odometer increment over the output index space
+    for (Index d = rank - 1; d >= 0; --d) {
+      auto ud = static_cast<std::size_t>(d);
+      ++idx[ud];
+      oa += sa[ud];
+      ob += sb[ud];
+      if (idx[ud] < out_shape.dim(d)) break;
+      oa -= sa[ud] * out_shape.dim(d);
+      ob -= sb[ud] * out_shape.dim(d);
+      idx[ud] = 0;
+    }
+  }
+  return out;
+}
+
+template <typename F>
+Tensor unary_op(const Tensor& a, F&& f) {
+  Tensor out(a.shape());
+  const float* pa = a.data();
+  float* po = out.data();
+  const Index n = a.numel();
+  for (Index i = 0; i < n; ++i) po[i] = f(pa[i]);
+  return out;
+}
+
+}  // namespace
+
+Tensor add(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, std::plus<float>());
+}
+Tensor sub(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, std::minus<float>());
+}
+Tensor mul(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, std::multiplies<float>());
+}
+Tensor div(const Tensor& a, const Tensor& b) {
+  return binary_op(a, b, std::divides<float>());
+}
+
+Tensor scale(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x * s; });
+}
+Tensor add_scalar(const Tensor& a, float s) {
+  return unary_op(a, [s](float x) { return x + s; });
+}
+Tensor neg(const Tensor& a) {
+  return unary_op(a, [](float x) { return -x; });
+}
+
+bool broadcastable(const Shape& a, const Shape& b) {
+  if (b.rank() > a.rank()) return false;
+  for (Index d = 0; d < b.rank(); ++d) {
+    const Index ad = a.rank() - b.rank() + d;
+    if (b.dim(d) != a.dim(ad) && b.dim(d) != 1) return false;
+  }
+  return true;
+}
+
+Tensor reduce_to_shape(const Tensor& t, const Shape& target) {
+  if (t.shape() == target) return t;
+  // Reduce leading extra dims, then any interior broadcast (==1) dims.
+  Tensor cur = t;
+  while (cur.rank() > target.rank()) {
+    // fold dim 0 into the rest by summation
+    Tensor folded(cur.shape().without_dim(0));
+    const Index n0 = cur.dim(0);
+    const Index rest = folded.numel();
+    const float* p = cur.data();
+    float* o = folded.data();
+    for (Index i = 0; i < n0; ++i)
+      for (Index j = 0; j < rest; ++j) o[j] += p[i * rest + j];
+    cur = folded;
+  }
+  for (Index d = 0; d < target.rank(); ++d) {
+    if (cur.dim(d) != target.dim(d)) {
+      DCHAG_CHECK(target.dim(d) == 1, "reduce_to_shape "
+                                          << t.shape().to_string() << " -> "
+                                          << target.to_string());
+      Tensor summed = sum_dim(cur, d);
+      // sum_dim removes the dim; re-insert it with extent 1
+      auto dims = summed.shape().dims();
+      dims.insert(dims.begin() + static_cast<std::ptrdiff_t>(d), 1);
+      cur = summed.reshape(Shape(std::move(dims)));
+    }
+  }
+  return cur;
+}
+
+Tensor matmul(const Tensor& a, const Tensor& b) {
+  DCHAG_CHECK(a.rank() >= 2 && b.rank() >= 2,
+              "matmul ranks " << a.rank() << ", " << b.rank());
+  const Index M = a.dim(-2);
+  const Index K = a.dim(-1);
+  const Index Kb = b.dim(-2);
+  const Index N = b.dim(-1);
+  DCHAG_CHECK(K == Kb, "matmul inner dims " << a.shape().to_string() << " x "
+                                            << b.shape().to_string());
+  const bool shared_b = b.rank() == 2 && a.rank() > 2;
+  Index batch = 1;
+  for (Index d = 0; d < a.rank() - 2; ++d) batch *= a.dim(d);
+  if (!shared_b) {
+    DCHAG_CHECK(a.rank() == b.rank(), "matmul batch rank mismatch");
+    for (Index d = 0; d < a.rank() - 2; ++d)
+      DCHAG_CHECK(a.dim(d) == b.dim(d), "matmul batch dims "
+                                            << a.shape().to_string() << " x "
+                                            << b.shape().to_string());
+  }
+  auto out_dims = a.shape().dims();
+  out_dims.back() = N;
+  Tensor out(Shape(std::move(out_dims)));
+
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+  for (Index bi = 0; bi < batch; ++bi) {
+    const float* A = pa + bi * M * K;
+    const float* B = pb + (shared_b ? 0 : bi * K * N);
+    float* C = po + bi * M * N;
+    for (Index i = 0; i < M; ++i) {
+      float* crow = C + i * N;
+      for (Index k = 0; k < K; ++k) {
+        const float av = A[i * K + k];
+        if (av == 0.0f) continue;
+        const float* brow = B + k * N;
+        for (Index j = 0; j < N; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+  g_flops.fetch_add(
+      static_cast<std::uint64_t>(2) * static_cast<std::uint64_t>(batch) *
+          static_cast<std::uint64_t>(M) * static_cast<std::uint64_t>(N) *
+          static_cast<std::uint64_t>(K),
+      std::memory_order_relaxed);
+  return out;
+}
+
+Tensor transpose_last2(const Tensor& a) {
+  DCHAG_CHECK(a.rank() >= 2, "transpose_last2 rank " << a.rank());
+  std::vector<Index> perm(static_cast<std::size_t>(a.rank()));
+  for (Index d = 0; d < a.rank(); ++d) perm[static_cast<std::size_t>(d)] = d;
+  std::swap(perm[static_cast<std::size_t>(a.rank() - 2)],
+            perm[static_cast<std::size_t>(a.rank() - 1)]);
+  return permute(a, perm);
+}
+
+Tensor permute(const Tensor& a, const std::vector<Index>& perm) {
+  const Index rank = a.rank();
+  DCHAG_CHECK(static_cast<Index>(perm.size()) == rank,
+              "permute rank mismatch");
+  std::vector<Index> out_dims(static_cast<std::size_t>(rank));
+  std::vector<Index> src_strides(static_cast<std::size_t>(rank));
+  std::vector<bool> seen(static_cast<std::size_t>(rank), false);
+  for (Index d = 0; d < rank; ++d) {
+    const Index s = perm[static_cast<std::size_t>(d)];
+    DCHAG_CHECK(s >= 0 && s < rank && !seen[static_cast<std::size_t>(s)],
+                "invalid permutation");
+    seen[static_cast<std::size_t>(s)] = true;
+    out_dims[static_cast<std::size_t>(d)] = a.dim(s);
+    src_strides[static_cast<std::size_t>(d)] = a.shape().stride(s);
+  }
+  Shape out_shape{std::vector<Index>(out_dims)};
+  Tensor out(out_shape);
+  const float* p = a.data();
+  float* o = out.data();
+  std::vector<Index> idx(static_cast<std::size_t>(rank), 0);
+  Index src = 0;
+  const Index n = out_shape.numel();
+  for (Index i = 0; i < n; ++i) {
+    o[i] = p[src];
+    for (Index d = rank - 1; d >= 0; --d) {
+      auto ud = static_cast<std::size_t>(d);
+      ++idx[ud];
+      src += src_strides[ud];
+      if (idx[ud] < out_dims[ud]) break;
+      src -= src_strides[ud] * out_dims[ud];
+      idx[ud] = 0;
+    }
+  }
+  return out;
+}
+
+Tensor softmax_lastdim(const Tensor& a) {
+  const Index D = a.dim(-1);
+  const Index rows = a.numel() / D;
+  Tensor out(a.shape());
+  const float* p = a.data();
+  float* o = out.data();
+  for (Index r = 0; r < rows; ++r) {
+    const float* row = p + r * D;
+    float* orow = o + r * D;
+    float mx = row[0];
+    for (Index j = 1; j < D; ++j) mx = std::max(mx, row[j]);
+    float sum = 0.0f;
+    for (Index j = 0; j < D; ++j) {
+      orow[j] = std::exp(row[j] - mx);
+      sum += orow[j];
+    }
+    const float inv = 1.0f / sum;
+    for (Index j = 0; j < D; ++j) orow[j] *= inv;
+  }
+  return out;
+}
+
+namespace {
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+}
+
+Tensor gelu(const Tensor& a) {
+  return unary_op(a, [](float x) {
+    return 0.5f * x * (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+  });
+}
+
+Tensor gelu_grad(const Tensor& a) {
+  return unary_op(a, [](float x) {
+    const float x3 = x * x * x;
+    const float u = kGeluC * (x + 0.044715f * x3);
+    const float t = std::tanh(u);
+    const float sech2 = 1.0f - t * t;
+    const float du = kGeluC * (1.0f + 3.0f * 0.044715f * x * x);
+    return 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
+  });
+}
+
+Tensor relu(const Tensor& a) {
+  return unary_op(a, [](float x) { return x > 0.0f ? x : 0.0f; });
+}
+
+Tensor exp(const Tensor& a) {
+  return unary_op(a, [](float x) { return std::exp(x); });
+}
+
+LayerNormResult layernorm(const Tensor& a, const Tensor& gamma,
+                          const Tensor& beta, float eps) {
+  const Index D = a.dim(-1);
+  DCHAG_CHECK(gamma.shape() == Shape{D} && beta.shape() == Shape{D},
+              "layernorm gamma/beta must be [" << D << "]");
+  const Index rows = a.numel() / D;
+  LayerNormResult r{Tensor(a.shape()), Tensor(a.shape().without_dim(-1)),
+                    Tensor(a.shape().without_dim(-1))};
+  const float* p = a.data();
+  const float* g = gamma.data();
+  const float* b = beta.data();
+  float* y = r.y.data();
+  float* mean = r.mean.data();
+  float* rstd = r.rstd.data();
+  for (Index i = 0; i < rows; ++i) {
+    const float* row = p + i * D;
+    float m = 0.0f;
+    for (Index j = 0; j < D; ++j) m += row[j];
+    m /= static_cast<float>(D);
+    float v = 0.0f;
+    for (Index j = 0; j < D; ++j) {
+      const float d = row[j] - m;
+      v += d * d;
+    }
+    v /= static_cast<float>(D);
+    const float rs = 1.0f / std::sqrt(v + eps);
+    mean[i] = m;
+    rstd[i] = rs;
+    float* yrow = y + i * D;
+    for (Index j = 0; j < D; ++j) yrow[j] = (row[j] - m) * rs * g[j] + b[j];
+  }
+  return r;
+}
+
+Tensor concat(std::span<const Tensor> ts, Index dim) {
+  DCHAG_CHECK(!ts.empty(), "concat of zero tensors");
+  const Index rank = ts[0].rank();
+  const Index d = dim >= 0 ? dim : dim + rank;
+  Index total = 0;
+  for (const Tensor& t : ts) {
+    DCHAG_CHECK(t.rank() == rank, "concat rank mismatch");
+    for (Index k = 0; k < rank; ++k) {
+      if (k != d)
+        DCHAG_CHECK(t.dim(k) == ts[0].dim(k),
+                    "concat dim mismatch at " << k << ": "
+                                              << t.shape().to_string());
+    }
+    total += t.dim(d);
+  }
+  Shape out_shape = ts[0].shape().with_dim(d, total);
+  Tensor out(out_shape);
+  Index outer = 1;
+  for (Index k = 0; k < d; ++k) outer *= out_shape.dim(k);
+  const Index inner = out_shape.stride(d);
+  float* po = out.data();
+  const Index out_block = total * inner;
+  Index off = 0;
+  for (const Tensor& t : ts) {
+    const Index blk = t.dim(d) * inner;
+    const float* p = t.data();
+    for (Index i = 0; i < outer; ++i) {
+      std::memcpy(po + i * out_block + off, p + i * blk,
+                  static_cast<std::size_t>(blk) * sizeof(float));
+    }
+    off += blk;
+  }
+  return out;
+}
+
+Tensor slice(const Tensor& a, Index dim, Index start, Index len) {
+  const Index rank = a.rank();
+  const Index d = dim >= 0 ? dim : dim + rank;
+  DCHAG_CHECK(start >= 0 && len >= 0 && start + len <= a.dim(d),
+              "slice(" << d << ", " << start << ", " << len << ") on "
+                       << a.shape().to_string());
+  Shape out_shape = a.shape().with_dim(d, len);
+  Tensor out(out_shape);
+  Index outer = 1;
+  for (Index k = 0; k < d; ++k) outer *= a.dim(k);
+  const Index inner = a.shape().stride(d);
+  const Index in_block = a.dim(d) * inner;
+  const Index out_block = len * inner;
+  const float* p = a.data();
+  float* po = out.data();
+  for (Index i = 0; i < outer; ++i) {
+    std::memcpy(po + i * out_block, p + i * in_block + start * inner,
+                static_cast<std::size_t>(out_block) * sizeof(float));
+  }
+  return out;
+}
+
+void add_slice_inplace(Tensor& dst, const Tensor& src, Index dim,
+                       Index start) {
+  const Index rank = dst.rank();
+  const Index d = dim >= 0 ? dim : dim + rank;
+  DCHAG_CHECK(src.rank() == rank, "add_slice rank mismatch");
+  DCHAG_CHECK(start + src.dim(d) <= dst.dim(d), "add_slice out of range");
+  Index outer = 1;
+  for (Index k = 0; k < d; ++k) outer *= dst.dim(k);
+  const Index inner = dst.shape().stride(d);
+  const Index dst_block = dst.dim(d) * inner;
+  const Index src_block = src.dim(d) * inner;
+  const float* p = src.data();
+  float* po = dst.data();
+  for (Index i = 0; i < outer; ++i) {
+    float* drow = po + i * dst_block + start * inner;
+    const float* srow = p + i * src_block;
+    for (Index j = 0; j < src_block; ++j) drow[j] += srow[j];
+  }
+}
+
+Tensor sum_all(const Tensor& a) {
+  double s = 0.0;  // accumulate in double: loss sums over many elements
+  for (float x : a.span()) s += x;
+  return Tensor::scalar(static_cast<float>(s));
+}
+
+Tensor mean_all(const Tensor& a) {
+  return scale(sum_all(a), 1.0f / static_cast<float>(a.numel()));
+}
+
+Tensor sum_dim(const Tensor& a, Index dim) {
+  const Index rank = a.rank();
+  const Index d = dim >= 0 ? dim : dim + rank;
+  Shape out_shape = a.shape().without_dim(d);
+  Tensor out(out_shape);
+  Index outer = 1;
+  for (Index k = 0; k < d; ++k) outer *= a.dim(k);
+  const Index nd = a.dim(d);
+  const Index inner = a.shape().stride(d);
+  const float* p = a.data();
+  float* po = out.data();
+  for (Index i = 0; i < outer; ++i) {
+    const float* blk = p + i * nd * inner;
+    float* orow = po + i * inner;
+    for (Index k = 0; k < nd; ++k) {
+      const float* srow = blk + k * inner;
+      for (Index j = 0; j < inner; ++j) orow[j] += srow[j];
+    }
+  }
+  return out;
+}
+
+Tensor mean_dim(const Tensor& a, Index dim) {
+  const Index d = dim >= 0 ? dim : dim + a.rank();
+  return scale(sum_dim(a, d), 1.0f / static_cast<float>(a.dim(d)));
+}
+
+Tensor expand_dim(const Tensor& a, Index dim, Index n) {
+  const Index rank = a.rank() + 1;
+  const Index d = dim >= 0 ? dim : dim + rank;
+  auto dims = a.shape().dims();
+  dims.insert(dims.begin() + static_cast<std::ptrdiff_t>(d), n);
+  Shape out_shape{std::vector<Index>(dims)};
+  Tensor out(out_shape);
+  Index outer = 1;
+  for (Index k = 0; k < d; ++k) outer *= a.dim(k);
+  const Index inner = a.numel() / outer;
+  const float* p = a.data();
+  float* po = out.data();
+  for (Index i = 0; i < outer; ++i) {
+    for (Index k = 0; k < n; ++k) {
+      std::memcpy(po + (i * n + k) * inner, p + i * inner,
+                  static_cast<std::size_t>(inner) * sizeof(float));
+    }
+  }
+  return out;
+}
+
+float max_abs_diff(const Tensor& a, const Tensor& b) {
+  DCHAG_CHECK(a.shape() == b.shape(), "max_abs_diff shape mismatch "
+                                          << a.shape().to_string() << " vs "
+                                          << b.shape().to_string());
+  float m = 0.0f;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::abs(pa[i] - pb[i]));
+  return m;
+}
+
+bool allclose(const Tensor& a, const Tensor& b, float atol, float rtol) {
+  if (a.shape() != b.shape()) return false;
+  const float* pa = a.data();
+  const float* pb = b.data();
+  for (Index i = 0; i < a.numel(); ++i) {
+    const float diff = std::abs(pa[i] - pb[i]);
+    if (diff > atol + rtol * std::abs(pb[i])) return false;
+  }
+  return true;
+}
+
+std::uint64_t flops_executed() {
+  return g_flops.load(std::memory_order_relaxed);
+}
+void reset_flops() { g_flops.store(0, std::memory_order_relaxed); }
+
+}  // namespace dchag::tensor::ops

@@ -1,0 +1,93 @@
+// Stateless tensor kernels. All functions return freshly-allocated tensors;
+// inputs are never mutated. Elementwise binaries use numpy-style
+// right-aligned broadcasting. A process-wide FLOP ledger instruments every
+// matmul so the analytic hw::FlopModel can be validated against executed
+// kernels (tests/hw/flop_model_test.cpp).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dchag::tensor::ops {
+
+// ----- elementwise with broadcasting ---------------------------------------
+
+Tensor add(const Tensor& a, const Tensor& b);
+Tensor sub(const Tensor& a, const Tensor& b);
+Tensor mul(const Tensor& a, const Tensor& b);
+Tensor div(const Tensor& a, const Tensor& b);
+
+Tensor scale(const Tensor& a, float s);
+Tensor add_scalar(const Tensor& a, float s);
+Tensor neg(const Tensor& a);
+
+/// True if `b` broadcasts to `a` under right-aligned numpy rules.
+bool broadcastable(const Shape& a, const Shape& b);
+
+/// Sum `t` down to `target` shape by reducing the dimensions that were
+/// broadcast (the adjoint of broadcasting; used by autograd backward).
+Tensor reduce_to_shape(const Tensor& t, const Shape& target);
+
+// ----- linear algebra -------------------------------------------------------
+
+/// Batched matmul: a is [*, M, K]; b is [*, K, N] with identical leading
+/// dims, or rank-2 [K, N] shared across the batch.
+Tensor matmul(const Tensor& a, const Tensor& b);
+
+Tensor transpose_last2(const Tensor& a);
+Tensor permute(const Tensor& a, const std::vector<Index>& perm);
+
+// ----- nonlinearities / normalisation ---------------------------------------
+
+Tensor softmax_lastdim(const Tensor& a);
+/// GELU with tanh approximation (matches the PyTorch default used by ViTs).
+Tensor gelu(const Tensor& a);
+Tensor gelu_grad(const Tensor& a);  // d gelu / d a, elementwise
+Tensor relu(const Tensor& a);
+Tensor exp(const Tensor& a);
+
+struct LayerNormResult {
+  Tensor y;     ///< normalised output (same shape as input)
+  Tensor mean;  ///< per-row mean, shape = input shape without last dim
+  Tensor rstd;  ///< per-row 1/std, same shape as mean
+};
+/// Layer norm over the last dimension; gamma/beta have shape [D].
+LayerNormResult layernorm(const Tensor& a, const Tensor& gamma,
+                          const Tensor& beta, float eps = 1e-5f);
+
+// ----- shape manipulation ----------------------------------------------------
+
+Tensor concat(std::span<const Tensor> ts, Index dim);
+Tensor slice(const Tensor& a, Index dim, Index start, Index len);
+/// Writes `src` into `dst` at offset `start` along `dim` (for backward of
+/// slice / concat); mutates dst in place.
+void add_slice_inplace(Tensor& dst, const Tensor& src, Index dim, Index start);
+
+// ----- reductions ------------------------------------------------------------
+
+Tensor sum_all(const Tensor& a);   // -> shape [1]
+Tensor mean_all(const Tensor& a);  // -> shape [1]
+Tensor sum_dim(const Tensor& a, Index dim);
+Tensor mean_dim(const Tensor& a, Index dim);
+/// Broadcast `a` (shape without `dim`) back across `dim` with `n` copies.
+Tensor expand_dim(const Tensor& a, Index dim, Index n);
+
+// ----- comparisons for tests -------------------------------------------------
+
+/// Largest absolute elementwise difference; shapes must match.
+float max_abs_diff(const Tensor& a, const Tensor& b);
+bool allclose(const Tensor& a, const Tensor& b, float atol = 1e-5f,
+              float rtol = 1e-4f);
+
+// ----- FLOP ledger -----------------------------------------------------------
+
+/// Cumulative multiply-add FLOPs (2*M*N*K per matmul) executed by this
+/// process since the last reset. Thread-safe (rank threads all count).
+std::uint64_t flops_executed();
+void reset_flops();
+
+}  // namespace dchag::tensor::ops

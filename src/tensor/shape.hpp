@@ -1,0 +1,83 @@
+// Dense row-major shape descriptor.
+#pragma once
+
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "tensor/check.hpp"
+
+namespace dchag::tensor {
+
+using Index = std::int64_t;
+
+/// Shape of a dense row-major tensor. A regular value type: comparable,
+/// hashable by contents, cheap to copy for the ranks (<= 6) used here.
+class Shape {
+ public:
+  Shape() = default;
+  Shape(std::initializer_list<Index> dims) : dims_(dims) { validate(); }
+  explicit Shape(std::vector<Index> dims) : dims_(std::move(dims)) {
+    validate();
+  }
+
+  [[nodiscard]] Index rank() const {
+    return static_cast<Index>(dims_.size());
+  }
+  [[nodiscard]] Index dim(Index i) const {
+    DCHAG_CHECK(i >= -rank() && i < rank(), "dim index " << i
+                                                         << " out of range for "
+                                                         << to_string());
+    return dims_[static_cast<std::size_t>(i >= 0 ? i : i + rank())];
+  }
+  [[nodiscard]] Index numel() const {
+    return std::accumulate(dims_.begin(), dims_.end(), Index{1},
+                           std::multiplies<>());
+  }
+  [[nodiscard]] const std::vector<Index>& dims() const { return dims_; }
+
+  /// Row-major stride of dimension `i` (elements, not bytes).
+  [[nodiscard]] Index stride(Index i) const {
+    Index s = 1;
+    for (Index d = rank() - 1; d > i; --d) s *= dim(d);
+    return s;
+  }
+
+  /// Shape with dimension `i` replaced by `v`.
+  [[nodiscard]] Shape with_dim(Index i, Index v) const {
+    auto d = dims_;
+    d[static_cast<std::size_t>(i >= 0 ? i : i + rank())] = v;
+    return Shape(std::move(d));
+  }
+
+  /// Shape with dimension `i` removed.
+  [[nodiscard]] Shape without_dim(Index i) const {
+    auto d = dims_;
+    d.erase(d.begin() + static_cast<std::ptrdiff_t>(i >= 0 ? i : i + rank()));
+    return Shape(std::move(d));
+  }
+
+  bool operator==(const Shape&) const = default;
+
+  [[nodiscard]] std::string to_string() const {
+    std::string s = "[";
+    for (std::size_t i = 0; i < dims_.size(); ++i) {
+      if (i) s += ", ";
+      s += std::to_string(dims_[i]);
+    }
+    return s + "]";
+  }
+
+ private:
+  void validate() const {
+    for (Index d : dims_) {
+      DCHAG_CHECK(d >= 0, "negative dimension in shape " << to_string());
+    }
+  }
+
+  std::vector<Index> dims_;
+};
+
+}  // namespace dchag::tensor

@@ -1,0 +1,117 @@
+#include "train/checkpoint.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <map>
+
+namespace dchag::train {
+
+namespace {
+
+constexpr char kMagic[4] = {'D', 'C', 'H', 'K'};
+constexpr std::uint64_t kVersion = 1;
+
+void write_u64(std::ofstream& f, std::uint64_t v) {
+  f.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+std::uint64_t read_u64(std::ifstream& f) {
+  std::uint64_t v = 0;
+  f.read(reinterpret_cast<char*>(&v), sizeof(v));
+  DCHAG_CHECK(f.good(), "truncated checkpoint");
+  return v;
+}
+
+struct RawEntry {
+  tensor::Shape shape;
+  std::streampos data_pos;
+};
+
+std::map<std::string, RawEntry> index_file(std::ifstream& f,
+                                           const std::string& path) {
+  char magic[4];
+  f.read(magic, 4);
+  DCHAG_CHECK(f.good() && std::memcmp(magic, kMagic, 4) == 0,
+              path << " is not a D-CHAG checkpoint");
+  const std::uint64_t version = read_u64(f);
+  DCHAG_CHECK(version == kVersion, "unsupported checkpoint version "
+                                       << version);
+  const std::uint64_t count = read_u64(f);
+  std::map<std::string, RawEntry> entries;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const std::uint64_t name_len = read_u64(f);
+    std::string name(name_len, '\0');
+    f.read(name.data(), static_cast<std::streamsize>(name_len));
+    const std::uint64_t rank = read_u64(f);
+    std::vector<tensor::Index> dims(rank);
+    for (auto& d : dims) d = static_cast<tensor::Index>(read_u64(f));
+    tensor::Shape shape{std::vector<tensor::Index>(dims)};
+    RawEntry e{shape, f.tellg()};
+    DCHAG_CHECK(!entries.contains(name),
+                "duplicate parameter '" << name << "' in " << path);
+    entries.emplace(std::move(name), std::move(e));
+    f.seekg(static_cast<std::streamoff>(shape.numel() * sizeof(float)),
+            std::ios::cur);
+    DCHAG_CHECK(f.good(), "truncated checkpoint " << path);
+  }
+  return entries;
+}
+
+}  // namespace
+
+void save_parameters(const std::string& path,
+                     std::span<const autograd::Variable> params) {
+  std::ofstream f(path, std::ios::binary);
+  DCHAG_CHECK(f.good(), "cannot open " << path << " for writing");
+  f.write(kMagic, 4);
+  write_u64(f, kVersion);
+  write_u64(f, params.size());
+  for (const autograd::Variable& p : params) {
+    DCHAG_CHECK(!p.name().empty(),
+                "cannot checkpoint an unnamed parameter");
+    write_u64(f, p.name().size());
+    f.write(p.name().data(),
+            static_cast<std::streamsize>(p.name().size()));
+    const auto& shape = p.shape();
+    write_u64(f, static_cast<std::uint64_t>(shape.rank()));
+    for (tensor::Index d = 0; d < shape.rank(); ++d)
+      write_u64(f, static_cast<std::uint64_t>(shape.dim(d)));
+    f.write(reinterpret_cast<const char*>(p.value().data()),
+            static_cast<std::streamsize>(shape.numel() * sizeof(float)));
+  }
+  DCHAG_CHECK(f.good(), "write failed for " << path);
+}
+
+void load_parameters(const std::string& path,
+                     std::span<autograd::Variable> params) {
+  std::ifstream f(path, std::ios::binary);
+  DCHAG_CHECK(f.good(), "cannot open " << path);
+  const auto entries = index_file(f, path);
+  for (autograd::Variable& p : params) {
+    const auto it = entries.find(p.name());
+    DCHAG_CHECK(it != entries.end(),
+                "parameter '" << p.name() << "' not found in " << path);
+    DCHAG_CHECK(it->second.shape == p.shape(),
+                "shape mismatch for '" << p.name() << "': checkpoint "
+                                       << it->second.shape.to_string()
+                                       << " vs model "
+                                       << p.shape().to_string());
+    f.clear();
+    f.seekg(it->second.data_pos);
+    f.read(reinterpret_cast<char*>(p.mutable_value().data()),
+           static_cast<std::streamsize>(p.shape().numel() * sizeof(float)));
+    DCHAG_CHECK(f.good(), "truncated data for '" << p.name() << "'");
+  }
+}
+
+std::vector<CheckpointEntry> list_checkpoint(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  DCHAG_CHECK(f.good(), "cannot open " << path);
+  std::vector<CheckpointEntry> out;
+  for (const auto& [name, entry] : index_file(f, path)) {
+    out.push_back({name, entry.shape});
+  }
+  return out;
+}
+
+}  // namespace dchag::train

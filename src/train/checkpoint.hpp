@@ -1,0 +1,33 @@
+// Parameter checkpointing: save/load named parameters to a simple binary
+// format. Under D-CHAG, each rank saves its own shard file (rank-local
+// tokenizer and tree weights differ per rank); replicated modules can be
+// saved once from rank 0.
+//
+// Format: "DCHK" magic, u64 version, u64 param count, then per parameter:
+// u64 name length, name bytes, u64 rank, u64 dims..., float32 data.
+#pragma once
+
+#include <string>
+
+#include "tensor/module.hpp"
+
+namespace dchag::train {
+
+void save_parameters(const std::string& path,
+                     std::span<const autograd::Variable> params);
+
+/// Loads by (name, shape) match; every parameter in `params` must be
+/// present in the file with its exact shape. Extra file entries are
+/// ignored (enables loading submodules from full-model checkpoints).
+void load_parameters(const std::string& path,
+                     std::span<autograd::Variable> params);
+
+/// Names + shapes stored in a checkpoint, for inspection/tests.
+struct CheckpointEntry {
+  std::string name;
+  tensor::Shape shape;
+};
+[[nodiscard]] std::vector<CheckpointEntry> list_checkpoint(
+    const std::string& path);
+
+}  // namespace dchag::train

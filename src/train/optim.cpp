@@ -1,0 +1,101 @@
+#include "train/optim.hpp"
+
+#include <cmath>
+
+namespace dchag::train {
+
+void Sgd::step() {
+  for (Variable& p : params_) {
+    if (!p.has_grad()) continue;
+    float* v = p.mutable_value().data();
+    const float* g = p.grad().data();
+    for (Index i = 0; i < p.shape().numel(); ++i) v[i] -= lr_ * g[i];
+  }
+}
+
+void Sgd::zero_grad() {
+  for (Variable& p : params_) p.zero_grad();
+}
+
+void adamw_update(Tensor& value, const Tensor& grad, Tensor& m, Tensor& v,
+                  std::int64_t t, const AdamConfig& cfg) {
+  DCHAG_CHECK(value.shape() == grad.shape() && value.shape() == m.shape() &&
+                  value.shape() == v.shape(),
+              "adamw_update shape mismatch");
+  const float bc1 = 1.0f - std::pow(cfg.beta1, static_cast<float>(t));
+  const float bc2 = 1.0f - std::pow(cfg.beta2, static_cast<float>(t));
+  float* pv = value.data();
+  const float* pg = grad.data();
+  float* pm = m.data();
+  float* pvv = v.data();
+  for (Index i = 0; i < value.numel(); ++i) {
+    pm[i] = cfg.beta1 * pm[i] + (1.0f - cfg.beta1) * pg[i];
+    pvv[i] = cfg.beta2 * pvv[i] + (1.0f - cfg.beta2) * pg[i] * pg[i];
+    const float mhat = pm[i] / bc1;
+    const float vhat = pvv[i] / bc2;
+    pv[i] -= cfg.lr * (mhat / (std::sqrt(vhat) + cfg.eps) +
+                       cfg.weight_decay * pv[i]);
+  }
+}
+
+Adam::Adam(std::vector<Variable> params, AdamConfig cfg)
+    : params_(std::move(params)), cfg_(cfg) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Variable& p : params_) {
+    m_.emplace_back(p.shape());
+    v_.emplace_back(p.shape());
+  }
+}
+
+void Adam::step() {
+  ++t_;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    if (!p.has_grad()) continue;
+    adamw_update(p.mutable_value(), p.grad(), m_[i], v_[i], t_, cfg_);
+  }
+}
+
+void Adam::zero_grad() {
+  for (Variable& p : params_) p.zero_grad();
+}
+
+FsdpAdam::FsdpAdam(std::vector<Variable> params, comm::Communicator& comm,
+                   AdamConfig cfg)
+    : params_(std::move(params)), comm_(&comm), cfg_(cfg) {
+  state_.resize(params_.size());
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    if (owner_of(i) == comm_->rank()) {
+      state_[i] = std::make_pair(Tensor(params_[i].shape()),
+                                 Tensor(params_[i].shape()));
+      ++owned_count_;
+    }
+  }
+}
+
+void FsdpAdam::step() {
+  ++t_;
+  for (std::size_t i = 0; i < params_.size(); ++i) {
+    Variable& p = params_[i];
+    DCHAG_CHECK(p.has_grad(), "FsdpAdam: parameter '" << p.name()
+                                                      << "' has no grad");
+    // Average gradients across the group (ZeRO-1 keeps full grads; only
+    // the optimizer state is sharded).
+    Tensor g = p.node()->grad;
+    comm_->all_reduce(g.span(), comm::ReduceOp::kAvg);
+    const int owner = owner_of(i);
+    if (owner == comm_->rank()) {
+      auto& [m, v] = *state_[i];
+      adamw_update(p.mutable_value(), g, m, v, t_, cfg_);
+    }
+    Tensor value = p.value();  // aliases parameter storage
+    comm_->broadcast(value.span(), owner);
+  }
+}
+
+void FsdpAdam::zero_grad() {
+  for (Variable& p : params_) p.zero_grad();
+}
+
+}  // namespace dchag::train

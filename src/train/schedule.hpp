@@ -1,0 +1,69 @@
+// Learning-rate schedules and gradient clipping — the standard FM
+// training loop utilities (warmup + cosine decay is what ClimaX/ORBIT-
+// style trainings use).
+#pragma once
+
+#include <cmath>
+
+#include "tensor/module.hpp"
+
+namespace dchag::train {
+
+/// Linear warmup to `base_lr` over `warmup_steps`, then cosine decay to
+/// `min_lr` at `total_steps`. Steps beyond total_steps hold min_lr.
+class WarmupCosineSchedule {
+ public:
+  WarmupCosineSchedule(float base_lr, std::int64_t warmup_steps,
+                       std::int64_t total_steps, float min_lr = 0.0f)
+      : base_lr_(base_lr),
+        min_lr_(min_lr),
+        warmup_(warmup_steps),
+        total_(total_steps) {
+    DCHAG_CHECK(warmup_steps >= 0 && total_steps > warmup_steps,
+                "schedule needs total_steps > warmup_steps >= 0");
+    DCHAG_CHECK(base_lr > 0.0f && min_lr >= 0.0f && min_lr <= base_lr,
+                "schedule needs 0 <= min_lr <= base_lr");
+  }
+
+  [[nodiscard]] float lr(std::int64_t step) const {
+    if (step < warmup_) {
+      return base_lr_ * static_cast<float>(step + 1) /
+             static_cast<float>(warmup_);
+    }
+    if (step >= total_) return min_lr_;
+    const float progress = static_cast<float>(step - warmup_) /
+                           static_cast<float>(total_ - warmup_);
+    const float cosine = 0.5f * (1.0f + std::cos(3.14159265f * progress));
+    return min_lr_ + (base_lr_ - min_lr_) * cosine;
+  }
+
+ private:
+  float base_lr_;
+  float min_lr_;
+  std::int64_t warmup_;
+  std::int64_t total_;
+};
+
+/// Clips the global L2 norm of all gradients to `max_norm` (in place).
+/// Returns the pre-clip norm. Parameters without gradients are skipped.
+inline float clip_grad_norm(std::span<const autograd::Variable> params,
+                            float max_norm) {
+  DCHAG_CHECK(max_norm > 0.0f, "max_norm must be positive");
+  double sq = 0.0;
+  for (const autograd::Variable& p : params) {
+    if (!p.has_grad()) continue;
+    for (float g : p.node()->grad.span())
+      sq += static_cast<double>(g) * g;
+  }
+  const float norm = static_cast<float>(std::sqrt(sq));
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (const autograd::Variable& p : params) {
+      if (!p.has_grad()) continue;
+      for (float& g : p.node()->grad.span()) g *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace dchag::train

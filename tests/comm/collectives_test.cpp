@@ -1,0 +1,287 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace dchag::comm {
+namespace {
+
+/// Deterministic per-rank payload so every reduction has a closed form.
+std::vector<float> rank_payload(int rank, std::size_t n) {
+  std::vector<float> v(n);
+  for (std::size_t i = 0; i < n; ++i)
+    v[i] = static_cast<float>(rank + 1) * 0.5f + static_cast<float>(i) * 0.25f;
+  return v;
+}
+
+struct Param {
+  int world;
+  std::size_t n;
+  Algorithm alg;
+};
+
+class CollectiveSweep : public ::testing::TestWithParam<Param> {};
+
+TEST_P(CollectiveSweep, AllReduceSum) {
+  const auto [P, n, alg] = GetParam();
+  World world(P);
+  world.run([&](Communicator& comm) {
+    auto data = rank_payload(comm.rank(), n);
+    comm.all_reduce(data, ReduceOp::kSum, alg);
+    for (std::size_t i = 0; i < n; ++i) {
+      // sum over ranks of (r+1)*0.5 + i*0.25
+      const float expected = 0.5f * P * (P + 1) / 2.0f +
+                             static_cast<float>(P) * 0.25f *
+                                 static_cast<float>(i);
+      ASSERT_NEAR(data[i], expected, 1e-4f)
+          << "rank " << comm.rank() << " element " << i;
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllReduceAvgEqualsSumOverP) {
+  const auto [P, n, alg] = GetParam();
+  World world(P);
+  world.run([&](Communicator& comm) {
+    auto data = rank_payload(comm.rank(), n);
+    comm.all_reduce(data, ReduceOp::kAvg, alg);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float sum = 0.5f * P * (P + 1) / 2.0f +
+                        static_cast<float>(P) * 0.25f * static_cast<float>(i);
+      ASSERT_NEAR(data[i], sum / static_cast<float>(P), 1e-4f);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllReduceMax) {
+  const auto [P, n, alg] = GetParam();
+  World world(P);
+  world.run([&](Communicator& comm) {
+    auto data = rank_payload(comm.rank(), n);
+    comm.all_reduce(data, ReduceOp::kMax, alg);
+    for (std::size_t i = 0; i < n; ++i) {
+      const float expected =
+          static_cast<float>(P) * 0.5f + static_cast<float>(i) * 0.25f;
+      ASSERT_NEAR(data[i], expected, 1e-5f);
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, AllGatherOrderedByRank) {
+  const auto [P, n, alg] = GetParam();
+  World world(P);
+  world.run([&](Communicator& comm) {
+    auto send = rank_payload(comm.rank(), n);
+    std::vector<float> recv(n * static_cast<std::size_t>(P));
+    comm.all_gather(send, recv, alg);
+    for (int r = 0; r < P; ++r) {
+      auto expected = rank_payload(r, n);
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(recv[static_cast<std::size_t>(r) * n + i], expected[i])
+            << "rank " << comm.rank() << " gathered chunk " << r;
+      }
+    }
+  });
+}
+
+TEST_P(CollectiveSweep, ReduceScatterChunkPerRank) {
+  const auto [P, n, alg] = GetParam();
+  World world(P);
+  world.run([&](Communicator& comm) {
+    // send vector has P chunks of n elements each
+    std::vector<float> send(static_cast<std::size_t>(P) * n);
+    for (int c = 0; c < P; ++c) {
+      for (std::size_t i = 0; i < n; ++i) {
+        send[static_cast<std::size_t>(c) * n + i] =
+            static_cast<float>(comm.rank() + 1) + static_cast<float>(c) +
+            static_cast<float>(i) * 0.1f;
+      }
+    }
+    std::vector<float> recv(n);
+    comm.reduce_scatter(send, recv, ReduceOp::kSum, alg);
+    for (std::size_t i = 0; i < n; ++i) {
+      // sum over ranks of (r+1) + my_chunk + 0.1*i
+      const float expected =
+          static_cast<float>(P) * (P + 1) / 2.0f +
+          static_cast<float>(P) *
+              (static_cast<float>(comm.rank()) + 0.1f * static_cast<float>(i));
+      ASSERT_NEAR(recv[i], expected, 1e-3f);
+    }
+  });
+}
+
+/// ReduceScatter followed by AllGather must equal AllReduce — the identity
+/// ring-allreduce is built on.
+TEST_P(CollectiveSweep, ReduceScatterThenAllGatherEqualsAllReduce) {
+  const auto [P, n_raw, alg] = GetParam();
+  const std::size_t n = std::max<std::size_t>(n_raw, 1);
+  World world(P);
+  world.run([&](Communicator& comm) {
+    const std::size_t total = n * static_cast<std::size_t>(P);
+    std::vector<float> a(total);
+    for (std::size_t i = 0; i < total; ++i)
+      a[i] = static_cast<float>(comm.rank()) + static_cast<float>(i) * 0.01f;
+    std::vector<float> b = a;
+
+    comm.all_reduce(a, ReduceOp::kSum, alg);
+
+    std::vector<float> chunk(n);
+    comm.reduce_scatter(b, chunk, ReduceOp::kSum, alg);
+    std::vector<float> gathered(total);
+    comm.all_gather(chunk, gathered, alg);
+
+    for (std::size_t i = 0; i < total; ++i)
+      ASSERT_NEAR(a[i], gathered[i], 1e-3f);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    WorldsAndAlgorithms, CollectiveSweep,
+    ::testing::Values(
+        Param{1, 8, Algorithm::kDirect}, Param{2, 5, Algorithm::kDirect},
+        Param{4, 16, Algorithm::kDirect}, Param{8, 3, Algorithm::kDirect},
+        Param{2, 5, Algorithm::kRing}, Param{4, 16, Algorithm::kRing},
+        Param{8, 7, Algorithm::kRing}, Param{3, 10, Algorithm::kRing},
+        Param{4, 16, Algorithm::kHierarchical},
+        Param{8, 9, Algorithm::kHierarchical}),
+    [](const ::testing::TestParamInfo<Param>& info) {
+      const char* alg = info.param.alg == Algorithm::kDirect   ? "Direct"
+                        : info.param.alg == Algorithm::kRing   ? "Ring"
+                                                               : "Hier";
+      return std::string("P") + std::to_string(info.param.world) + "N" +
+             std::to_string(info.param.n) + alg;
+    });
+
+TEST(Collectives, HierarchicalMatchesDirectWithNodes) {
+  // 8 ranks on 2 "nodes" of 4: hierarchical must equal flat reduction.
+  World world(8, Topology::packed(8, 4));
+  world.run([&](Communicator& comm) {
+    std::vector<float> a(13);
+    std::iota(a.begin(), a.end(), static_cast<float>(comm.rank()));
+    std::vector<float> b = a;
+    comm.all_reduce(a, ReduceOp::kSum, Algorithm::kHierarchical);
+    comm.all_reduce(b, ReduceOp::kSum, Algorithm::kDirect);
+    for (std::size_t i = 0; i < a.size(); ++i) ASSERT_NEAR(a[i], b[i], 1e-4f);
+  });
+}
+
+TEST(Collectives, Broadcast) {
+  World world(4);
+  world.run([&](Communicator& comm) {
+    std::vector<float> data(6, comm.rank() == 2 ? 7.0f : 0.0f);
+    comm.broadcast(data, 2);
+    for (float x : data) ASSERT_EQ(x, 7.0f);
+  });
+}
+
+TEST(Collectives, BroadcastFromEveryRoot) {
+  World world(3);
+  world.run([&](Communicator& comm) {
+    for (int root = 0; root < comm.size(); ++root) {
+      std::vector<float> data(4, static_cast<float>(comm.rank()));
+      comm.broadcast(data, root);
+      for (float x : data) ASSERT_EQ(x, static_cast<float>(root));
+    }
+  });
+}
+
+TEST(Collectives, SendRecvPingPong) {
+  World world(2);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> msg{1, 2, 3};
+      comm.send(msg, 1, /*tag=*/0);
+      std::vector<float> reply(3);
+      comm.recv(reply, 1, /*tag=*/1);
+      ASSERT_EQ(reply[0], 2.0f);
+      ASSERT_EQ(reply[2], 6.0f);
+    } else {
+      std::vector<float> buf(3);
+      comm.recv(buf, 0, /*tag=*/0);
+      for (float& x : buf) x *= 2.0f;
+      comm.send(buf, 0, /*tag=*/1);
+    }
+  });
+}
+
+TEST(Collectives, SendRecvTagsDisambiguate) {
+  World world(2);
+  world.run([&](Communicator& comm) {
+    if (comm.rank() == 0) {
+      std::vector<float> a{1.0f};
+      std::vector<float> b{2.0f};
+      comm.send(a, 1, 10);
+      comm.send(b, 1, 20);
+    } else {
+      std::vector<float> b(1);
+      std::vector<float> a(1);
+      // Receive in reverse tag order: rendezvous per tag still matches.
+      comm.recv(a, 0, 10);
+      comm.recv(b, 0, 20);
+      ASSERT_EQ(a[0], 1.0f);
+      ASSERT_EQ(b[0], 2.0f);
+    }
+  });
+}
+
+TEST(Collectives, StatsLedgerRecordsCallsAndBytes) {
+  World world(2);
+  world.run([&](Communicator& comm) {
+    std::vector<float> d(10, 1.0f);
+    comm.all_reduce(d);
+    std::vector<float> recv(20);
+    comm.all_gather(std::span<const float>(d.data(), 10), recv);
+    const CommStats& s = comm.stats();
+    ASSERT_EQ(s.calls_of(CollectiveKind::kAllReduce), 1u);
+    ASSERT_EQ(s.bytes_of(CollectiveKind::kAllReduce), 40u);
+    ASSERT_EQ(s.calls_of(CollectiveKind::kAllGather), 1u);
+    ASSERT_EQ(s.bytes_of(CollectiveKind::kAllGather), 80u);
+    ASSERT_EQ(s.calls_of(CollectiveKind::kReduceScatter), 0u);
+  });
+}
+
+TEST(Collectives, StatsResetClears) {
+  World world(2);
+  world.run([&](Communicator& comm) {
+    std::vector<float> d(4, 1.0f);
+    comm.all_reduce(d);
+    comm.reset_stats();
+    ASSERT_EQ(comm.stats().total_calls(), 0u);
+  });
+}
+
+TEST(Collectives, RepeatedCollectivesDoNotInterfere) {
+  // Stress the barrier reuse: many back-to-back collectives of mixed type.
+  World world(4);
+  world.run([&](Communicator& comm) {
+    for (int iter = 0; iter < 50; ++iter) {
+      std::vector<float> d(7, static_cast<float>(comm.rank() + iter));
+      comm.all_reduce(d, ReduceOp::kSum,
+                      iter % 2 == 0 ? Algorithm::kDirect : Algorithm::kRing);
+      const float expected = 4.0f * iter + 6.0f;  // sum of ranks 0..3 + 4*iter
+      ASSERT_NEAR(d[0], expected, 1e-4f) << "iter " << iter;
+      comm.barrier();
+    }
+  });
+}
+
+TEST(Collectives, SizeMismatchThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([&](Communicator& comm) {
+    std::vector<float> send(4);
+    std::vector<float> recv(4);  // should be 8
+    comm.all_gather(send, recv);
+  }),
+               Error);
+}
+
+TEST(Collectives, WorldRethrowsRankException) {
+  World world(1);
+  EXPECT_THROW(
+      world.run([](Communicator&) { DCHAG_FAIL("rank failure"); }), Error);
+}
+
+}  // namespace
+}  // namespace dchag::comm

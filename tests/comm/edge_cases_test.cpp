@@ -1,0 +1,123 @@
+// Edge cases and failure-injection for the SPMD runtime.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "comm/communicator.hpp"
+
+namespace dchag::comm {
+namespace {
+
+TEST(CommEdge, RingWithFewerElementsThanRanks) {
+  // n < P leaves some ring chunks empty; results must still be exact.
+  World world(8);
+  world.run([](Communicator& comm) {
+    std::vector<float> d{static_cast<float>(comm.rank()), 1.0f};
+    comm.all_reduce(d, ReduceOp::kSum, Algorithm::kRing);
+    ASSERT_EQ(d[0], 28.0f);  // 0+1+...+7
+    ASSERT_EQ(d[1], 8.0f);
+  });
+}
+
+TEST(CommEdge, SingleElementRingAllReduce) {
+  World world(4);
+  world.run([](Communicator& comm) {
+    std::vector<float> d{1.0f};
+    comm.all_reduce(d, ReduceOp::kSum, Algorithm::kRing);
+    ASSERT_EQ(d[0], 4.0f);
+  });
+}
+
+TEST(CommEdge, HierarchicalMinAndAvg) {
+  World world(8, Topology::packed(8, 4));
+  world.run([](Communicator& comm) {
+    std::vector<float> mn{static_cast<float>(comm.rank())};
+    comm.all_reduce(mn, ReduceOp::kMin, Algorithm::kHierarchical);
+    ASSERT_EQ(mn[0], 0.0f);
+    std::vector<float> avg{static_cast<float>(comm.rank())};
+    comm.all_reduce(avg, ReduceOp::kAvg, Algorithm::kHierarchical);
+    ASSERT_NEAR(avg[0], 3.5f, 1e-6f);
+  });
+}
+
+TEST(CommEdge, WorldReusableAcrossRuns) {
+  World world(4);
+  for (int round = 0; round < 3; ++round) {
+    world.run([round](Communicator& comm) {
+      std::vector<float> d{static_cast<float>(comm.rank() + round)};
+      comm.all_reduce(d);
+      ASSERT_EQ(d[0], 6.0f + 4.0f * round);
+    });
+  }
+}
+
+TEST(CommEdge, MixedAlgorithmsAgreeBitwiseOnInts) {
+  // Integer-valued floats: direct, ring and hierarchical must agree
+  // exactly (associativity differences cannot appear).
+  World world(8, Topology::packed(8, 2));
+  world.run([](Communicator& comm) {
+    std::vector<float> base(17);
+    std::iota(base.begin(), base.end(),
+              static_cast<float>(comm.rank() * 17));
+    for (Algorithm alg :
+         {Algorithm::kDirect, Algorithm::kRing, Algorithm::kHierarchical}) {
+      std::vector<float> d = base;
+      comm.all_reduce(d, ReduceOp::kSum, alg);
+      std::vector<float> ref = base;
+      comm.all_reduce(ref, ReduceOp::kSum, Algorithm::kDirect);
+      for (std::size_t i = 0; i < d.size(); ++i) ASSERT_EQ(d[i], ref[i]);
+    }
+  });
+}
+
+TEST(CommEdge, ReduceScatterRingUnevenChunks) {
+  // recv size 3 with 4 ranks: send is 12 elements, ring chunking must
+  // respect the exact chunk boundaries.
+  World world(4);
+  world.run([](Communicator& comm) {
+    std::vector<float> send(12);
+    for (std::size_t i = 0; i < send.size(); ++i)
+      send[i] = static_cast<float>(comm.rank() + 1) * static_cast<float>(i);
+    std::vector<float> recv(3);
+    comm.reduce_scatter(send, recv, ReduceOp::kSum, Algorithm::kRing);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const float idx =
+          static_cast<float>(comm.rank()) * 3.0f + static_cast<float>(i);
+      ASSERT_EQ(recv[i], 10.0f * idx);  // (1+2+3+4) * element index
+    }
+  });
+}
+
+TEST(CommEdge, BroadcastInvalidRootThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+    std::vector<float> d(3);
+    comm.broadcast(d, 5);
+  }),
+               Error);
+}
+
+TEST(CommEdge, SendToSelfThrows) {
+  World world(2);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+    std::vector<float> d(1);
+    if (comm.rank() == 0) comm.send(d, 0, 0);
+    // rank 1 throws too so the run stays symmetric
+    if (comm.rank() == 1) comm.recv(d, 1, 0);
+  }),
+               Error);
+}
+
+TEST(CommEdge, LargePayloadAllReduce) {
+  World world(4);
+  world.run([](Communicator& comm) {
+    std::vector<float> d(1 << 18, 1.0f);  // 1 MiB per rank
+    comm.all_reduce(d, ReduceOp::kSum, Algorithm::kRing);
+    ASSERT_EQ(d.front(), 4.0f);
+    ASSERT_EQ(d.back(), 4.0f);
+    ASSERT_EQ(d[12345], 4.0f);
+  });
+}
+
+}  // namespace
+}  // namespace dchag::comm

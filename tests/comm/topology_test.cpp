@@ -1,0 +1,59 @@
+#include <gtest/gtest.h>
+
+#include "comm/types.hpp"
+
+namespace dchag::comm {
+namespace {
+
+TEST(Topology, FlatPutsAllRanksOnOneNode) {
+  Topology t = Topology::flat(8);
+  EXPECT_EQ(t.size(), 8);
+  EXPECT_EQ(t.num_nodes(), 1);
+  EXPECT_TRUE(t.same_node(0, 7));
+}
+
+TEST(Topology, PackedFrontierLayout) {
+  // Frontier: 8 logical GPUs (GCDs) per node.
+  Topology t = Topology::packed(24, 8);
+  EXPECT_EQ(t.num_nodes(), 3);
+  EXPECT_EQ(t.node_of(0), 0);
+  EXPECT_EQ(t.node_of(7), 0);
+  EXPECT_EQ(t.node_of(8), 1);
+  EXPECT_EQ(t.node_of(23), 2);
+  EXPECT_TRUE(t.same_node(8, 15));
+  EXPECT_FALSE(t.same_node(7, 8));
+}
+
+TEST(Topology, PackedUnevenLastNode) {
+  Topology t = Topology::packed(10, 8);
+  EXPECT_EQ(t.num_nodes(), 2);
+  EXPECT_EQ(t.node_of(9), 1);
+}
+
+TEST(Topology, SubgroupRemapsNodeIds) {
+  Topology t = Topology::packed(16, 8);
+  Topology sub = t.subgroup({0, 8});
+  EXPECT_EQ(sub.size(), 2);
+  EXPECT_FALSE(sub.same_node(0, 1));
+  Topology sub2 = t.subgroup({0, 1, 2});
+  EXPECT_EQ(sub2.num_nodes(), 1);
+}
+
+TEST(CommStats, RecordAndTotals) {
+  CommStats s;
+  s.record(CollectiveKind::kAllReduce, 100);
+  s.record(CollectiveKind::kAllReduce, 50);
+  s.record(CollectiveKind::kBroadcast, 10);
+  EXPECT_EQ(s.calls_of(CollectiveKind::kAllReduce), 2u);
+  EXPECT_EQ(s.bytes_of(CollectiveKind::kAllReduce), 150u);
+  EXPECT_EQ(s.total_calls(), 3u);
+  EXPECT_EQ(s.total_payload_bytes(), 160u);
+}
+
+TEST(CommStats, KindNames) {
+  EXPECT_STREQ(to_string(CollectiveKind::kAllReduce), "AllReduce");
+  EXPECT_STREQ(to_string(CollectiveKind::kReduceScatter), "ReduceScatter");
+}
+
+}  // namespace
+}  // namespace dchag::comm

@@ -1,0 +1,150 @@
+#include "data/hyperspectral.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+#include <cstdio>
+#include <fstream>
+
+namespace dchag::data {
+namespace {
+
+namespace ops = tensor::ops;
+using tensor::Shape;
+
+HyperspectralConfig small() {
+  HyperspectralConfig cfg;
+  cfg.channels = 50;
+  cfg.height = 16;
+  cfg.width = 16;
+  return cfg;
+}
+
+TEST(Hyperspectral, BatchShapeAndRange) {
+  HyperspectralGenerator gen(small(), 1);
+  Tensor batch = gen.sample_batch(3);
+  EXPECT_EQ(batch.shape(), (Shape{3, 50, 16, 16}));
+  for (float v : batch.span()) {
+    EXPECT_GT(v, -0.3f);
+    EXPECT_LT(v, 1.3f);
+  }
+}
+
+TEST(Hyperspectral, DeterministicForSameSeed) {
+  HyperspectralGenerator a(small(), 7);
+  HyperspectralGenerator b(small(), 7);
+  EXPECT_LT(ops::max_abs_diff(a.sample_batch(2), b.sample_batch(2)), 1e-9f);
+}
+
+TEST(Hyperspectral, DifferentSeedsDiffer) {
+  HyperspectralGenerator a(small(), 7);
+  HyperspectralGenerator b(small(), 8);
+  EXPECT_GT(ops::max_abs_diff(a.sample_batch(1), b.sample_batch(1)), 1e-3f);
+}
+
+TEST(Hyperspectral, AdjacentBandsStronglyCorrelated) {
+  // The property that makes channel aggregation meaningful: neighbouring
+  // spectral bands are near-duplicates (paper §2.1 motivation).
+  HyperspectralGenerator gen(small(), 2);
+  Tensor img = gen.sample_batch(1);
+  const Index hw = 16 * 16;
+  double corr_sum = 0;
+  int pairs = 0;
+  for (Index c = 0; c + 1 < 50; c += 5) {
+    const float* a = img.data() + c * hw;
+    const float* b = img.data() + (c + 1) * hw;
+    double ma = 0;
+    double mb = 0;
+    for (Index i = 0; i < hw; ++i) {
+      ma += a[i];
+      mb += b[i];
+    }
+    ma /= hw;
+    mb /= hw;
+    double cov = 0;
+    double va = 0;
+    double vb = 0;
+    for (Index i = 0; i < hw; ++i) {
+      cov += (a[i] - ma) * (b[i] - mb);
+      va += (a[i] - ma) * (a[i] - ma);
+      vb += (b[i] - mb) * (b[i] - mb);
+    }
+    corr_sum += cov / std::sqrt(va * vb + 1e-12);
+    ++pairs;
+  }
+  EXPECT_GT(corr_sum / pairs, 0.8);
+}
+
+TEST(Hyperspectral, LeafSpectrumHasRedEdge) {
+  // Vegetation reflectance: near-infrared (>750nm) well above the red
+  // absorption trough (~680nm).
+  HyperspectralConfig cfg;
+  cfg.channels = 100;
+  cfg.height = 8;
+  cfg.width = 8;
+  HyperspectralGenerator gen(cfg, 3);
+  const auto& leaf = gen.material_spectrum(0);
+  const Index red = gen.band_of_wavelength(680.0f);
+  const Index nir = gen.band_of_wavelength(830.0f);
+  EXPECT_GT(leaf[static_cast<std::size_t>(nir)],
+            leaf[static_cast<std::size_t>(red)] + 0.2f);
+}
+
+TEST(Hyperspectral, SpatialSmoothness) {
+  // Abundance blobs make neighbouring pixels similar: mean |dx| gradient
+  // must be far below the global dynamic range.
+  HyperspectralGenerator gen(small(), 4);
+  Tensor img = gen.sample_batch(1);
+  const Index hw = 16 * 16;
+  const float* plane = img.data() + 25 * hw;  // middle band
+  float lo = 1e9f;
+  float hi = -1e9f;
+  double grad = 0;
+  for (Index y = 0; y < 16; ++y) {
+    for (Index x = 0; x + 1 < 16; ++x) {
+      const float v = plane[y * 16 + x];
+      lo = std::min(lo, v);
+      hi = std::max(hi, v);
+      grad += std::abs(plane[y * 16 + x + 1] - v);
+    }
+  }
+  grad /= 16 * 15;
+  EXPECT_LT(grad, 0.25 * (hi - lo + 1e-6));
+}
+
+TEST(Hyperspectral, BandOfWavelengthEndpoints) {
+  HyperspectralGenerator gen(small(), 5);
+  EXPECT_EQ(gen.band_of_wavelength(400.0f), 0);
+  EXPECT_EQ(gen.band_of_wavelength(900.0f), 49);
+  EXPECT_EQ(gen.band_of_wavelength(200.0f), 0);  // clamped
+}
+
+TEST(Hyperspectral, PseudoRgbPpmWritten) {
+  HyperspectralGenerator gen(small(), 6);
+  Tensor img = gen.sample_batch(1).slice0(0, 1).reshape(Shape{50, 16, 16});
+  const std::string path = ::testing::TempDir() + "test_rgb.ppm";
+  write_pseudo_rgb_ppm(path, img, gen.band_of_wavelength(650.0f),
+                       gen.band_of_wavelength(550.0f),
+                       gen.band_of_wavelength(450.0f));
+  std::ifstream f(path);
+  ASSERT_TRUE(f.good());
+  std::string magic;
+  f >> magic;
+  EXPECT_EQ(magic, "P3");
+  int w = 0;
+  int h = 0;
+  f >> w >> h;
+  EXPECT_EQ(w, 16);
+  EXPECT_EQ(h, 16);
+  std::remove(path.c_str());
+}
+
+TEST(Hyperspectral, RejectsDegenerateConfig) {
+  HyperspectralConfig cfg;
+  cfg.channels = 2;
+  EXPECT_THROW(HyperspectralGenerator(cfg, 1), Error);
+}
+
+}  // namespace
+}  // namespace dchag::data

@@ -1,0 +1,115 @@
+#include "data/weather.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/ops.hpp"
+
+namespace dchag::data {
+namespace {
+
+namespace ops = tensor::ops;
+using tensor::Shape;
+
+WeatherConfig small() {
+  WeatherConfig cfg;
+  cfg.num_variables = 3;
+  cfg.levels_per_variable = 4;
+  cfg.surface_variables = 2;
+  cfg.height = 16;
+  cfg.width = 32;
+  return cfg;
+}
+
+TEST(Weather, PaperChannelCount) {
+  // Paper §5.2: 5 variables x >10 levels + 3 surface = 80 channels.
+  WeatherConfig cfg;
+  cfg.num_variables = 5;
+  cfg.levels_per_variable = 15;
+  cfg.surface_variables = 5;
+  EXPECT_EQ(cfg.channels(), 80);
+  // Default grid is the paper's 5.625-degree regrid: 32 x 64.
+  EXPECT_EQ(cfg.height, 32);
+  EXPECT_EQ(cfg.width, 64);
+}
+
+TEST(Weather, StateShapeAndDeterminism) {
+  WeatherGenerator gen(small(), 1);
+  Tensor a = gen.state(42, 3.0f);
+  EXPECT_EQ(a.shape(), (Shape{14, 16, 32}));
+  Tensor b = gen.state(42, 3.0f);
+  EXPECT_LT(ops::max_abs_diff(a, b), 1e-9f);
+  Tensor c = gen.state(43, 3.0f);
+  EXPECT_GT(ops::max_abs_diff(a, c), 1e-3f);
+}
+
+TEST(Weather, TemporalCoherence) {
+  // Small lead: nearly identical; large lead: decorrelated. This is what
+  // makes "forecast t -> t+lead" non-trivial but learnable.
+  WeatherGenerator gen(small(), 2);
+  Tensor now = gen.state(7, 10.0f);
+  Tensor soon = gen.state(7, 10.05f);
+  Tensor later = gen.state(7, 30.0f);
+  EXPECT_LT(ops::max_abs_diff(now, soon), 0.15f);
+  EXPECT_GT(ops::max_abs_diff(now, later), 0.3f);
+}
+
+TEST(Weather, AdjacentLevelsCorrelated) {
+  WeatherGenerator gen(small(), 3);
+  Tensor s = gen.state(5, 1.0f);
+  const Index hw = 16 * 32;
+  // Levels 0 and 1 of variable group 0.
+  const float* l0 = s.data();
+  const float* l1 = s.data() + hw;
+  double cov = 0;
+  double v0 = 0;
+  double v1 = 0;
+  for (Index i = 0; i < hw; ++i) {
+    cov += l0[i] * l1[i];
+    v0 += l0[i] * l0[i];
+    v1 += l1[i] * l1[i];
+  }
+  EXPECT_GT(cov / std::sqrt(v0 * v1 + 1e-12), 0.7);
+}
+
+TEST(Weather, PolesAreCalm) {
+  // The meridional envelope suppresses waves at the domain edges.
+  WeatherGenerator gen(small(), 4);
+  Tensor s = gen.state(9, 2.0f);
+  double pole = 0;
+  double equator = 0;
+  for (Index x = 0; x < 32; ++x) {
+    pole += std::abs(s.at({0, 0, x}));
+    equator += std::abs(s.at({0, 8, x}));
+  }
+  EXPECT_LT(pole, 0.3 * equator);
+}
+
+TEST(Weather, SamplePairShapesAndLead) {
+  WeatherGenerator gen(small(), 5);
+  auto pair = gen.sample_pair(3, 1.0f);
+  EXPECT_EQ(pair.now.shape(), (Shape{3, 14, 16, 32}));
+  EXPECT_EQ(pair.future.shape(), (Shape{3, 14, 16, 32}));
+  // Input and target differ (noise + advection) but are correlated.
+  EXPECT_GT(ops::max_abs_diff(pair.now, pair.future), 1e-3f);
+}
+
+TEST(Weather, EvaluationChannelIndicesValid) {
+  WeatherConfig cfg;  // paper-sized default
+  WeatherGenerator gen(cfg, 6);
+  EXPECT_GE(gen.z500_channel(), 0);
+  EXPECT_LT(gen.z500_channel(), cfg.levels_per_variable);
+  EXPECT_GE(gen.t850_channel(), cfg.levels_per_variable);
+  EXPECT_LT(gen.t850_channel(), 2 * cfg.levels_per_variable);
+  EXPECT_EQ(gen.u10_channel(), cfg.num_variables * cfg.levels_per_variable);
+  EXPECT_LT(gen.u10_channel(), cfg.channels());
+}
+
+TEST(Weather, ChannelNames) {
+  WeatherGenerator gen(small(), 7);
+  EXPECT_EQ(gen.channel_name(0), "z_lvl0");
+  EXPECT_EQ(gen.channel_name(4), "t_lvl0");
+  EXPECT_EQ(gen.channel_name(12), "u10");
+}
+
+}  // namespace
+}  // namespace dchag::data

@@ -1,0 +1,99 @@
+#include "hw/comm_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dchag::hw {
+namespace {
+
+const CommCostModel kCost(MachineSpec::frontier());
+
+TEST(CommCostModel, ZeroForTrivialGroups) {
+  EXPECT_EQ(kCost.all_reduce_s(1e6, 1, 1), 0.0);
+  EXPECT_EQ(kCost.all_gather_s(0.0, 8, 8), 0.0);
+}
+
+TEST(CommCostModel, IntraNodeFasterThanInterNode) {
+  // Same payload, same group size: a group within one node beats a group
+  // spanning nodes (the rationale for the paper's §6.3 hybrid layout).
+  const double bytes = 256e6;
+  const double intra = kCost.all_reduce_s(bytes, 8, 8);
+  const double inter = kCost.all_reduce_s(bytes, 8, 1);
+  EXPECT_LT(intra, inter);
+}
+
+TEST(CommCostModel, SharedNicPenalty) {
+  // More colocated ranks in a node-spanning group divide the NIC budget.
+  const double bytes = 64e6;
+  const double lone = kCost.all_reduce_s(bytes, 16, 1);
+  const double packed = kCost.all_reduce_s(bytes, 16, 8);
+  EXPECT_LT(lone, packed);
+}
+
+TEST(CommCostModel, MonotonicInBytes) {
+  double prev = 0;
+  for (double bytes : {1e6, 1e7, 1e8, 1e9}) {
+    const double t = kCost.all_reduce_s(bytes, 8, 8);
+    EXPECT_GT(t, prev);
+    prev = t;
+  }
+}
+
+TEST(CommCostModel, RingBandwidthTermSaturates) {
+  // Per the ring formula the bandwidth term approaches 2*bytes/bw as P
+  // grows; doubling P far past saturation must not double the time.
+  const double bytes = 1e9;
+  const double t64 = kCost.all_reduce_s(bytes, 64, 8);
+  const double t128 = kCost.all_reduce_s(bytes, 128, 8);
+  EXPECT_LT(t128 / t64, 1.2);
+}
+
+TEST(CommCostModel, AllGatherReduceScatterSymmetric) {
+  EXPECT_DOUBLE_EQ(kCost.all_gather_s(1e8, 8, 4),
+                   kCost.reduce_scatter_s(1e8, 8, 4));
+}
+
+TEST(CommCostModel, AllReduceEqualsGatherPlusScatterAsymptotically) {
+  // Ring AllReduce = ReduceScatter + AllGather of the same payload.
+  const double bytes = 5e8;
+  const double ar = kCost.all_reduce_s(bytes, 8, 8);
+  const double rs_ag =
+      kCost.reduce_scatter_s(bytes, 8, 8) + kCost.all_gather_s(bytes, 8, 8);
+  EXPECT_NEAR(ar, rs_ag, ar * 0.01);
+}
+
+TEST(CommCostModel, EffectiveBandwidthRules) {
+  const MachineSpec m = MachineSpec::frontier();
+  // Whole group on one node: Infinity Fabric.
+  EXPECT_DOUBLE_EQ(kCost.effective_bandwidth_gbs(8, 8),
+                   m.intra_node.bandwidth_gbs);
+  // Spanning nodes with 8 colocated ranks: each gets 100/8 GB/s.
+  EXPECT_DOUBLE_EQ(kCost.effective_bandwidth_gbs(16, 8),
+                   m.inter_node_per_node.bandwidth_gbs / 8);
+  // One rank per node: full NIC, capped by Infinity Fabric.
+  EXPECT_DOUBLE_EQ(kCost.effective_bandwidth_gbs(4, 1),
+                   m.intra_node.bandwidth_gbs);
+}
+
+TEST(GroupPlacement, TpInnermostLayout) {
+  // tp=8 fills a node; fsdp then has one member per node.
+  const auto p = place_groups(8, 4, 2, 8);
+  EXPECT_EQ(p.tp_ranks_per_node, 8);
+  EXPECT_EQ(p.fsdp_ranks_per_node, 1);
+  EXPECT_EQ(p.dp_ranks_per_node, 1);
+}
+
+TEST(GroupPlacement, SmallTpLeavesRoomForFsdp) {
+  // tp=2: four TP groups per node, so fsdp up to 4 stays intra-node.
+  const auto p = place_groups(2, 4, 8, 8);
+  EXPECT_EQ(p.tp_ranks_per_node, 2);
+  EXPECT_EQ(p.fsdp_ranks_per_node, 4);
+  EXPECT_EQ(p.dp_ranks_per_node, 1);
+}
+
+TEST(GroupPlacement, DpIntraNodeWhenEverythingSmall) {
+  const auto p = place_groups(2, 2, 2, 8);
+  EXPECT_EQ(p.dp_ranks_per_node, 2);
+}
+
+}  // namespace
+}  // namespace dchag::hw

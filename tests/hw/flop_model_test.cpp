@@ -1,0 +1,151 @@
+// Validates the analytic FLOP formulas against the instrumented matmul
+// ledger of the executable model (tensor::ops counts 2*M*N*K per matmul).
+// LayerNorm/softmax/elementwise costs are not matmuls and are excluded on
+// both sides.
+#include <gtest/gtest.h>
+
+#include "hw/flop_model.hpp"
+#include "model/foundation.hpp"
+
+namespace dchag::hw {
+namespace {
+
+namespace ops = dchag::tensor::ops;
+using dchag::autograd::Variable;
+using dchag::tensor::Rng;
+using dchag::tensor::Shape;
+using dchag::tensor::Tensor;
+
+ModelConfig tiny() { return ModelConfig::tiny(); }
+
+TEST(FlopModel, TokenizerMatchesExecutedMatmuls) {
+  ModelConfig cfg = tiny();
+  Rng rng(1);
+  const Index B = 2;
+  const Index C = 3;
+  model::PatchTokenizer tok(cfg, C, rng);
+  Tensor img = rng.normal_tensor(Shape{B, C, cfg.image_h, cfg.image_w});
+  ops::reset_flops();
+  (void)tok.forward(img);
+  EXPECT_EQ(static_cast<double>(ops::flops_executed()),
+            FlopModel::tokenizer_flops(cfg, static_cast<double>(B),
+                                       static_cast<double>(C)));
+}
+
+TEST(FlopModel, CrossAttentionAggregatorMatches) {
+  ModelConfig cfg = tiny();
+  Rng rng(2);
+  const Index B = 2;
+  const Index S = 4;
+  const Index C = 5;
+  model::CrossAttentionAggregator agg(cfg.embed_dim, cfg.num_heads, C,
+                                      model::QueryMode::kChannelTokens, rng);
+  Tensor tokens = rng.normal_tensor(Shape{B, S, C, cfg.embed_dim});
+  ops::reset_flops();
+  (void)agg.forward(Variable::input(tokens));
+  // The analytic formula assumes batch*seq = B*S rows.
+  ModelConfig row_cfg = cfg;  // seq_len enters through cfg; scale by hand
+  const auto f = FlopModel::aggregation_flops(cfg, /*batch=*/1.0, C,
+                                              AggLayerKind::kCrossAttention);
+  const double scale =
+      static_cast<double>(B * S) / static_cast<double>(cfg.seq_len());
+  EXPECT_DOUBLE_EQ(static_cast<double>(ops::flops_executed()),
+                   (f.scores + f.proj) * scale);
+  (void)row_cfg;
+}
+
+TEST(FlopModel, LearnedQueryAggregatorMatches) {
+  ModelConfig cfg = tiny();
+  cfg.query_mode = model::QueryMode::kLearnedQuery;
+  Rng rng(3);
+  const Index B = 1;
+  const Index S = cfg.seq_len();
+  const Index C = 6;
+  model::CrossAttentionAggregator agg(cfg.embed_dim, cfg.num_heads, C,
+                                      model::QueryMode::kLearnedQuery, rng);
+  Tensor tokens = rng.normal_tensor(Shape{B, S, C, cfg.embed_dim});
+  ops::reset_flops();
+  (void)agg.forward(Variable::input(tokens));
+  const auto f = FlopModel::aggregation_flops(cfg, 1.0, C,
+                                              AggLayerKind::kCrossAttention);
+  EXPECT_DOUBLE_EQ(static_cast<double>(ops::flops_executed()),
+                   f.scores + f.proj);
+}
+
+TEST(FlopModel, LinearAggregatorProjectionMatches) {
+  // The channel-combine is elementwise (not a matmul), so the ledger sees
+  // only the projection term.
+  ModelConfig cfg = tiny();
+  Rng rng(4);
+  const Index C = 4;
+  model::LinearAggregator agg(cfg.embed_dim, C, rng);
+  Tensor tokens =
+      rng.normal_tensor(Shape{1, cfg.seq_len(), C, cfg.embed_dim});
+  ops::reset_flops();
+  (void)agg.forward(Variable::input(tokens));
+  const auto f =
+      FlopModel::aggregation_flops(cfg, 1.0, C, AggLayerKind::kLinear);
+  EXPECT_DOUBLE_EQ(static_cast<double>(ops::flops_executed()), f.proj);
+}
+
+TEST(FlopModel, TransformerMatchesEncoder) {
+  ModelConfig cfg = tiny();
+  Rng rng(5);
+  model::ViTEncoder enc(cfg, rng);
+  const Index B = 2;
+  Tensor x = rng.normal_tensor(Shape{B, cfg.seq_len(), cfg.embed_dim});
+  ops::reset_flops();
+  (void)enc.forward(Variable::input(x));
+  EXPECT_DOUBLE_EQ(static_cast<double>(ops::flops_executed()),
+                   FlopModel::transformer_flops(cfg, static_cast<double>(B)));
+}
+
+TEST(FlopModel, TreeFlopsSumOverUnits) {
+  ModelConfig cfg = tiny();
+  const auto plan = model::plan_tree(8, 4);
+  const auto whole =
+      FlopModel::tree_flops(cfg, 2.0, plan, AggLayerKind::kCrossAttention);
+  double scores = 0;
+  double proj = 0;
+  for (const auto& level : plan.level_widths) {
+    for (Index w : level) {
+      const auto f = FlopModel::aggregation_flops(
+          cfg, 2.0, w, AggLayerKind::kCrossAttention);
+      scores += f.scores;
+      proj += f.proj;
+    }
+  }
+  EXPECT_DOUBLE_EQ(whole.scores, scores);
+  EXPECT_DOUBLE_EQ(whole.proj, proj);
+}
+
+TEST(FlopModel, LogicalFlopsPositiveAndOrdered) {
+  ModelConfig cfg = ModelConfig::preset("7B");
+  const double base = FlopModel::logical_forward_flops(
+      cfg, 8.0, 512, DchagSpec::off(), /*tp=*/8);
+  const double dchag = FlopModel::logical_forward_flops(
+      cfg, 8.0, 512, DchagSpec::tree(1, AggLayerKind::kLinear), 8);
+  EXPECT_GT(base, 0.0);
+  EXPECT_GT(dchag, 0.0);
+  // The -L D-CHAG model replaces a quadratic C^2 attention with linear
+  // trees + a tiny final attention: fewer logical FLOPs.
+  EXPECT_LT(dchag, base);
+}
+
+TEST(FlopModel, QuadraticVsLinearQueryScaling) {
+  ModelConfig cfg = tiny();
+  const auto q256 =
+      FlopModel::aggregation_flops(cfg, 1.0, 256, AggLayerKind::kCrossAttention);
+  const auto q512 =
+      FlopModel::aggregation_flops(cfg, 1.0, 512, AggLayerKind::kCrossAttention);
+  EXPECT_NEAR(q512.scores / q256.scores, 4.0, 1e-9);  // C^2
+  cfg.query_mode = model::QueryMode::kLearnedQuery;
+  const auto l256 =
+      FlopModel::aggregation_flops(cfg, 1.0, 256, AggLayerKind::kCrossAttention);
+  const auto l512 =
+      FlopModel::aggregation_flops(cfg, 1.0, 512, AggLayerKind::kCrossAttention);
+  EXPECT_NEAR(l512.scores / l256.scores, 2.0, 1e-9);  // C
+}
+
+}  // namespace
+}  // namespace dchag::hw

@@ -1,0 +1,183 @@
+#include "hw/memory_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dchag::hw {
+namespace {
+
+const MachineSpec kFrontier = MachineSpec::frontier();
+
+ModelConfig small() { return ModelConfig::preset("1.7B"); }
+
+TEST(MemoryModel, TotalIsSumOfComponents) {
+  Workload w{8, 128, true};
+  const auto m = estimate_memory(small(), w, {2, 1, 1}, DchagSpec::off());
+  const double sum = m.tokenizer_state_gb + m.aggregation_state_gb +
+                     m.transformer_state_gb + m.input_act_gb +
+                     m.tokenizer_act_gb + m.aggregation_act_gb +
+                     m.gather_act_gb + m.transformer_act_gb;
+  EXPECT_NEAR(m.total_gb(), sum, 1e-9);
+  EXPECT_GT(m.total_gb(), 0.0);
+}
+
+TEST(MemoryModel, BaselineAggregationQuadraticInChannels) {
+  // Paper §3.2: cross-attention memory scales quadratically with C.
+  Workload w1{8, 256, true};
+  Workload w2{8, 512, true};
+  const auto m1 = estimate_memory(small(), w1, {1, 1, 1}, DchagSpec::off());
+  const auto m2 = estimate_memory(small(), w2, {1, 1, 1}, DchagSpec::off());
+  // Subtract the linear projection part by fitting: act(C)= a*C^2 + b*C.
+  // Doubling C must more than double aggregation activations.
+  EXPECT_GT(m2.aggregation_act_gb, 2.5 * m1.aggregation_act_gb);
+}
+
+TEST(MemoryModel, LearnedQueryAblationIsLinearInChannels) {
+  ModelConfig cfg = small();
+  cfg.query_mode = model::QueryMode::kLearnedQuery;
+  Workload w1{8, 256, true};
+  Workload w2{8, 512, true};
+  const auto m1 = estimate_memory(cfg, w1, {1, 1, 1}, DchagSpec::off());
+  const auto m2 = estimate_memory(cfg, w2, {1, 1, 1}, DchagSpec::off());
+  EXPECT_NEAR(m2.aggregation_act_gb / m1.aggregation_act_gb, 2.0, 0.1);
+}
+
+TEST(MemoryModel, TpDoesNotShardTokenizer) {
+  // Paper Fig. 7: "the absolute memory usage for tokenization ... remains
+  // unchanged" as TP grows.
+  Workload w{8, 512, true};
+  const auto m2 = estimate_memory(small(), w, {2, 1, 1}, DchagSpec::off());
+  const auto m8 = estimate_memory(small(), w, {8, 1, 1}, DchagSpec::off());
+  EXPECT_NEAR(m2.tokenizer_act_gb, m8.tokenizer_act_gb, 1e-9);
+  EXPECT_NEAR(m2.tokenizer_state_gb, m8.tokenizer_state_gb, 1e-9);
+  EXPECT_LT(m8.transformer_state_gb, m2.transformer_state_gb);
+}
+
+TEST(MemoryModel, FsdpShardsStateNotActivations) {
+  Workload w{8, 256, true};
+  const auto m1 = estimate_memory(small(), w, {1, 1, 1}, DchagSpec::off());
+  const auto m4 = estimate_memory(small(), w, {1, 4, 1}, DchagSpec::off());
+  EXPECT_NEAR(m4.transformer_state_gb, m1.transformer_state_gb / 4, 1e-6);
+  EXPECT_NEAR(m4.tokenizer_state_gb, m1.tokenizer_state_gb / 4, 1e-6);
+  EXPECT_NEAR(m4.tokenizer_act_gb, m1.tokenizer_act_gb, 1e-9);
+  EXPECT_NEAR(m4.aggregation_act_gb, m1.aggregation_act_gb, 1e-9);
+}
+
+TEST(MemoryModel, DpShardsNothing) {
+  Workload w{8, 256, true};
+  const auto m1 = estimate_memory(small(), w, {2, 2, 1}, DchagSpec::off());
+  const auto m4 = estimate_memory(small(), w, {2, 2, 4}, DchagSpec::off());
+  EXPECT_NEAR(m1.total_gb(), m4.total_gb(), 1e-9);
+}
+
+TEST(MemoryModel, DchagSplitsTokenizerAcrossTp) {
+  Workload w{8, 512, true};
+  const auto base = estimate_memory(small(), w, {8, 1, 1}, DchagSpec::off());
+  const auto d = estimate_memory(small(), w, {8, 1, 1},
+                                 DchagSpec::tree(1, AggLayerKind::kLinear));
+  EXPECT_NEAR(d.tokenizer_act_gb, base.tokenizer_act_gb / 8, 1e-6);
+  EXPECT_LT(d.input_act_gb, base.input_act_gb);
+  EXPECT_GT(d.gather_act_gb, 0.0);  // AllGather landing buffer exists
+}
+
+TEST(MemoryModel, DchagLinearTreeSmallerThanCrossTree) {
+  // Paper Fig. 9/13: -L outperforms -C because linear layers carry fewer
+  // parameters and no quadratic score memory.
+  Workload w{8, 512, true};
+  const auto dl = estimate_memory(small(), w, {4, 1, 1},
+                                  DchagSpec::tree(1, AggLayerKind::kLinear));
+  const auto dc = estimate_memory(
+      small(), w, {4, 1, 1}, DchagSpec::tree(1, AggLayerKind::kCrossAttention));
+  EXPECT_LT(dl.aggregation_act_gb, dc.aggregation_act_gb);
+  EXPECT_LT(dl.aggregation_state_gb, dc.aggregation_state_gb);
+}
+
+TEST(MemoryModel, DeeperTreesReducePeakScoresButAddState) {
+  // Paper §3.2: deeper hierarchy -> smaller per-layer score memory but
+  // more parameters.
+  Workload w{8, 1024, true};
+  const auto t1 = estimate_memory(
+      small(), w, {2, 1, 1}, DchagSpec::tree(1, AggLayerKind::kCrossAttention));
+  const auto t8 = estimate_memory(
+      small(), w, {2, 1, 1}, DchagSpec::tree(8, AggLayerKind::kCrossAttention));
+  EXPECT_LT(t8.aggregation_act_gb, t1.aggregation_act_gb);
+  EXPECT_GT(t8.aggregation_state_gb, t1.aggregation_state_gb);
+}
+
+TEST(MemoryModel, DistributedTokenizationNegatesItsOwnGains) {
+  // Paper Fig. 8: the full-token AllGather makes §3.1 alone no better
+  // than the baseline at 512 channels.
+  ModelConfig cfg = small();
+  Workload w{21, 512, true};
+  const auto base = estimate_memory(cfg, w, {2, 1, 1}, DchagSpec::off());
+  const auto dist =
+      estimate_memory_distributed_tokenization(cfg, w, {2, 1, 1});
+  EXPECT_GT(dist.total_gb(), 0.95 * base.total_gb());
+  // ...but its tokenization-only share is genuinely smaller (red vs green
+  // bars in Fig. 8).
+  EXPECT_LT(dist.tokenizer_act_gb + dist.tokenizer_state_gb,
+            base.tokenizer_act_gb + base.tokenizer_state_gb);
+}
+
+TEST(MemoryModel, CheckpointingReducesTransformerActivations) {
+  Workload on{8, 64, true};
+  Workload off{8, 64, false};
+  const auto m_on = estimate_memory(small(), on, {1, 1, 1}, DchagSpec::off());
+  const auto m_off =
+      estimate_memory(small(), off, {1, 1, 1}, DchagSpec::off());
+  EXPECT_LT(m_on.transformer_act_gb, 0.3 * m_off.transformer_act_gb);
+}
+
+TEST(MemoryModel, MinFeasibleTpMonotonicInChannels) {
+  ModelConfig cfg = small();
+  int prev = 1;
+  for (Index c : {128, 256, 512, 1024}) {
+    Workload w{21, c, true};
+    const int tp = min_feasible_tp(cfg, w, DchagSpec::off(), kFrontier, 64);
+    ASSERT_GT(tp, 0) << "channels=" << c;
+    EXPECT_GE(tp, prev) << "channels=" << c;
+    prev = tp;
+  }
+}
+
+TEST(MemoryModel, MinFeasibleTpReturnsMinusOneWhenImpossible) {
+  ModelConfig cfg = ModelConfig::preset("26B");
+  Workload w{26, 256, true};
+  EXPECT_EQ(min_feasible_tp(cfg, w, DchagSpec::off(), kFrontier, 16), -1);
+}
+
+TEST(MemoryModel, MaxBatchPositiveAndTight) {
+  ModelConfig cfg = small();
+  const Index b =
+      max_batch_per_gpu(cfg, 256, {2, 1, 1}, DchagSpec::off(), kFrontier);
+  ASSERT_GT(b, 0);
+  Workload at{b, 256, true};
+  Workload over{b + 1, 256, true};
+  EXPECT_TRUE(fits(estimate_memory(cfg, at, {2, 1, 1}, DchagSpec::off()),
+                   kFrontier));
+  EXPECT_FALSE(fits(estimate_memory(cfg, over, {2, 1, 1}, DchagSpec::off()),
+                    kFrontier));
+}
+
+TEST(MemoryModel, DchagAllowsLargerBatchThanBaseline) {
+  // The memory freed by D-CHAG converts into batch (paper Fig. 15).
+  ModelConfig cfg = ModelConfig::preset("7B");
+  const Index base_b =
+      max_batch_per_gpu(cfg, 512, {16, 1, 1}, DchagSpec::off(), kFrontier);
+  const Index dchag_b = max_batch_per_gpu(
+      cfg, 512, {16, 1, 1}, DchagSpec::tree(1, AggLayerKind::kLinear),
+      kFrontier);
+  EXPECT_GT(dchag_b, base_b);
+}
+
+TEST(MemoryModel, RejectsBadInputs) {
+  Workload w{8, 0, true};
+  EXPECT_THROW(estimate_memory(small(), w, {1, 1, 1}, DchagSpec::off()),
+               Error);
+  Workload w2{8, 100, true};  // 100 % 8 != 0
+  EXPECT_THROW(estimate_memory(small(), w2, {8, 1, 1},
+                               DchagSpec::tree(1, AggLayerKind::kLinear)),
+               Error);
+}
+
+}  // namespace
+}  // namespace dchag::hw

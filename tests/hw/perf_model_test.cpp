@@ -1,0 +1,117 @@
+#include "hw/perf_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dchag::hw {
+namespace {
+
+const MachineSpec kFrontier = MachineSpec::frontier();
+
+TEST(PerfModel, StepTimePositiveAndDecomposes) {
+  ModelConfig cfg = ModelConfig::preset("1.7B");
+  Workload w{8, 256, true};
+  const auto est = estimate_step(cfg, w, {2, 1, 1}, DchagSpec::off(),
+                                 kFrontier);
+  EXPECT_GT(est.compute_s, 0.0);
+  EXPECT_GT(est.tp_comm_s, 0.0);
+  EXPECT_NEAR(est.step_s, est.compute_s + est.comm_s(), 1e-12);
+  EXPECT_GT(est.sustained_tflops_per_gpu, 0.0);
+  EXPECT_LT(est.sustained_tflops_per_gpu, kFrontier.gpu.peak_matrix_tflops);
+}
+
+TEST(PerfModel, NoTpCommWhenTpIsOne) {
+  ModelConfig cfg = ModelConfig::preset("1.7B");
+  Workload w{8, 128, true};
+  const auto est =
+      estimate_step(cfg, w, {1, 1, 1}, DchagSpec::off(), kFrontier);
+  EXPECT_EQ(est.tp_comm_s, 0.0);
+  EXPECT_EQ(est.fsdp_comm_s, 0.0);
+  EXPECT_EQ(est.dp_comm_s, 0.0);
+}
+
+TEST(PerfModel, DchagRemovesRedundantTokenization) {
+  // Baseline TP executes the full tokenizer on every rank; D-CHAG splits
+  // it. At high channel counts this dominates, so D-CHAG's per-GPU
+  // compute time must be lower.
+  ModelConfig cfg = ModelConfig::preset("1.7B");
+  Workload w{21, 1024, true};
+  const auto base =
+      estimate_step(cfg, w, {8, 1, 1}, DchagSpec::off(), kFrontier);
+  const auto d = estimate_step(cfg, w, {8, 1, 1},
+                               DchagSpec::tree(1, AggLayerKind::kLinear),
+                               kFrontier);
+  EXPECT_LT(d.compute_s, base.compute_s);
+  EXPECT_GT(d.sustained_tflops_per_gpu, base.sustained_tflops_per_gpu);
+}
+
+TEST(PerfModel, DchagFrontendCommIsSmall) {
+  // D-CHAG's only front-end collective is one AllGather of a single
+  // channel representation per rank — it must be a small fraction of the
+  // TP block communication.
+  ModelConfig cfg = ModelConfig::preset("7B");
+  Workload w{16, 512, true};
+  const auto d = estimate_step(cfg, w, {8, 1, 1},
+                               DchagSpec::tree(1, AggLayerKind::kLinear),
+                               kFrontier);
+  EXPECT_GT(d.frontend_comm_s, 0.0);
+  EXPECT_LT(d.frontend_comm_s, 0.1 * d.tp_comm_s);
+}
+
+TEST(PerfModel, FsdpAddsCommProportionalToParams) {
+  ModelConfig small = ModelConfig::preset("1.7B");
+  ModelConfig big = ModelConfig::preset("7B");
+  Workload w{8, 128, true};
+  const auto s =
+      estimate_step(small, w, {1, 8, 1}, DchagSpec::off(), kFrontier);
+  const auto b = estimate_step(big, w, {1, 8, 1}, DchagSpec::off(), kFrontier);
+  EXPECT_GT(s.fsdp_comm_s, 0.0);
+  EXPECT_GT(b.fsdp_comm_s, 2.0 * s.fsdp_comm_s);  // ~4x params
+}
+
+TEST(PerfModel, DpScalesThroughputNearLinearly) {
+  // DP adds gradient AllReduce but multiplies the global batch: sustained
+  // TFLOPs/GPU should stay within 25% of the DP=1 value while total
+  // throughput grows.
+  ModelConfig cfg = ModelConfig::preset("7B");
+  Workload w{8, 128, true};
+  const auto one =
+      estimate_step(cfg, w, {8, 1, 1}, DchagSpec::off(), kFrontier);
+  const auto eight =
+      estimate_step(cfg, w, {8, 1, 8}, DchagSpec::off(), kFrontier);
+  EXPECT_GT(eight.sustained_tflops_per_gpu,
+            0.75 * one.sustained_tflops_per_gpu);
+  EXPECT_GT(eight.useful_tflop_per_step, 7.0 * one.useful_tflop_per_step);
+}
+
+TEST(PerfModel, CheckpointingTradesComputeForMemory) {
+  ModelConfig cfg = ModelConfig::preset("1.7B");
+  Workload on{8, 128, true};
+  Workload off{8, 128, false};
+  const auto e_on =
+      estimate_step(cfg, on, {2, 1, 1}, DchagSpec::off(), kFrontier);
+  const auto e_off =
+      estimate_step(cfg, off, {2, 1, 1}, DchagSpec::off(), kFrontier);
+  EXPECT_GT(e_on.compute_s, e_off.compute_s);
+}
+
+TEST(PerfModel, MoreChannelsFavorDchagMore) {
+  // Paper Fig. 13: "for a fixed model size, we observe better performance
+  // gains as the number of channels increases".
+  ModelConfig cfg = ModelConfig::preset("7B");
+  double prev_gain = 0.0;
+  for (Index c : {128, 256, 512}) {
+    Workload w{16, c, true};
+    const auto base =
+        estimate_step(cfg, w, {8, 1, 1}, DchagSpec::off(), kFrontier);
+    const auto d = estimate_step(cfg, w, {8, 1, 1},
+                                 DchagSpec::tree(1, AggLayerKind::kLinear),
+                                 kFrontier);
+    const double gain =
+        d.sustained_tflops_per_gpu / base.sustained_tflops_per_gpu;
+    EXPECT_GT(gain, prev_gain) << "channels=" << c;
+    prev_gain = gain;
+  }
+}
+
+}  // namespace
+}  // namespace dchag::hw

@@ -1,0 +1,135 @@
+// D-CHAG composed with SEQUENCE parallelism (paper §3.5: "Sequence
+// Parallelism (SP) could operate on the same model segments — just before
+// the self-attention layers ... enabling tokenization and hierarchical
+// aggregation to be distributed along the axis in which the data are
+// fused"). The same group distributes channels in the front-end and the
+// sequence in the encoder.
+#include <gtest/gtest.h>
+
+#include "core/dchag_frontend.hpp"
+#include "model/vit.hpp"
+#include "parallel/sequence_parallel.hpp"
+#include "train/optim.hpp"
+
+namespace dchag {
+namespace {
+
+namespace ops = tensor::ops;
+using autograd::Variable;
+using model::AggLayerKind;
+using model::ModelConfig;
+using tensor::Index;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(DchagWithSp, CombinedForwardMatchesSingleDevice) {
+  ModelConfig cfg = ModelConfig::tiny();  // S = 16, divisible by P
+  const Index C = 8;
+  Tensor img = Rng(21).normal_tensor(Shape{2, C, 16, 16});
+
+  // Single-device reference: 1-rank D-CHAG world + serial encoder.
+  Tensor expected;
+  {
+    comm::World solo(1);
+    solo.run([&](comm::Communicator& comm) {
+      Rng master(3141);
+      core::DchagFrontEnd fe(cfg, C, comm, {1, AggLayerKind::kLinear},
+                             master);
+      Rng enc_rng(2020);
+      model::ViTEncoder enc(cfg, enc_rng);
+      expected = enc.forward(fe.forward(img)).value();
+    });
+  }
+
+  // Note: a 1-rank D-CHAG differs architecturally from a P-rank one (one
+  // tree over all channels vs P trees + final), so compare SP composition
+  // against the SAME P-rank D-CHAG with a serial encoder instead.
+  Tensor dchag_serial;
+  comm::World world(4);
+  world.run([&](comm::Communicator& comm) {
+    Rng master(3141);
+    core::DchagFrontEnd fe(cfg, C, comm, {1, AggLayerKind::kLinear}, master);
+    Rng enc_rng(2020);
+    model::ViTEncoder serial_enc(cfg, enc_rng);
+    parallel::SequenceParallelViTEncoder sp_enc(cfg, comm, enc_rng);
+
+    Variable agg = fe.forward(fe.slice_local_channels(img));  // replicated
+    Tensor serial_out = serial_enc.forward(agg).value();
+
+    Variable shard = parallel::scatter_sequence(agg, comm);
+    Variable sp_local = sp_enc.forward(shard);
+    Variable sp_full = parallel::gather_sequence(sp_local, comm);
+
+    ASSERT_LT(ops::max_abs_diff(sp_full.value(), serial_out), 5e-4f)
+        << "rank " << comm.rank();
+    if (comm.rank() == 0) dchag_serial = serial_out;
+  });
+  (void)expected;  // architectural difference documented above
+}
+
+TEST(DchagWithSp, TrainsEndToEndWithGradSync) {
+  ModelConfig cfg = ModelConfig::tiny();
+  const Index C = 8;
+  comm::World world(2);
+  world.run([&](comm::Communicator& comm) {
+    Rng master(3141);
+    core::DchagFrontEnd fe(cfg, C, comm, {1, AggLayerKind::kLinear}, master);
+    Rng enc_rng(2020);
+    parallel::SequenceParallelViTEncoder enc(cfg, comm, enc_rng);
+    autograd::Linear head(cfg.embed_dim, 2, enc_rng, "head");
+
+    std::vector<Variable> all = fe.parameters();
+    for (const auto& p : enc.parameters()) all.push_back(p);
+    for (const auto& p : head.parameters()) all.push_back(p);
+    train::Adam opt(all, {.lr = 3e-3f});
+
+    Rng data_rng(808);
+    Tensor img = data_rng.normal_tensor(Shape{2, C, 16, 16});
+    Tensor target = data_rng.normal_tensor(Shape{2, cfg.seq_len(), 2});
+    float first = 0;
+    float last = 0;
+    for (int step = 0; step < 10; ++step) {
+      opt.zero_grad();
+      Variable agg = fe.forward(fe.slice_local_channels(img));
+      Variable shard = parallel::scatter_sequence(agg, comm);
+      Variable out =
+          parallel::gather_sequence(head.forward(enc.forward(shard)), comm);
+      Variable loss = autograd::mse_loss(out, target);
+      loss.backward();
+      // Under SP every parameter saw only its sequence shard's gradient
+      // contribution: sum across the group (including the D-CHAG
+      // front-end's replicated final layer and the head).
+      for (Variable& p : all) {
+        if (!p.has_grad()) continue;
+        Tensor g = p.node()->grad;
+        comm.all_reduce(g.span(), comm::ReduceOp::kSum);
+      }
+      opt.step();
+      if (step == 0) first = loss.value().item();
+      last = loss.value().item();
+      Tensor l = loss.value().clone();
+      ASSERT_TRUE(parallel::is_replicated(l, comm, 1e-5f)) << "step " << step;
+    }
+    ASSERT_LT(last, first);
+  });
+}
+
+TEST(DchagWithSp, FrontendChannelGatherStillSingleCollective) {
+  // Composing with SP adds the encoder's kv gathers, but the D-CHAG
+  // channel path itself still costs exactly one AllGather per forward.
+  ModelConfig cfg = ModelConfig::tiny();
+  const Index C = 8;
+  Tensor img = Rng(22).normal_tensor(Shape{1, C, 16, 16});
+  comm::World world(2);
+  world.run([&](comm::Communicator& comm) {
+    Rng master(3141);
+    core::DchagFrontEnd fe(cfg, C, comm, {1, AggLayerKind::kLinear}, master);
+    comm.reset_stats();
+    (void)fe.forward(fe.slice_local_channels(img));
+    ASSERT_EQ(comm.stats().calls_of(comm::CollectiveKind::kAllGather), 1u);
+  });
+}
+
+}  // namespace
+}  // namespace dchag

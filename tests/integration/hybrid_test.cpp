@@ -1,0 +1,157 @@
+// Hybrid parallelism (paper §3.4, Fig. 5): D-CHAG groups == TP groups,
+// with FSDP/DP layered across them. These tests run the real SPMD stack:
+// 4 threads = 2 D-CHAG groups x 2 data-parallel replicas.
+#include <gtest/gtest.h>
+
+#include "core/dchag_frontend.hpp"
+#include "data/hyperspectral.hpp"
+#include "parallel/data_parallel.hpp"
+#include "train/loops.hpp"
+
+namespace dchag {
+namespace {
+
+using core::DchagOptions;
+using model::AggLayerKind;
+using model::ModelConfig;
+using tensor::Index;
+using tensor::Rng;
+using tensor::Tensor;
+
+constexpr Index kChannels = 8;
+
+std::vector<Tensor> make_batches(int count, std::uint64_t seed) {
+  data::HyperspectralConfig hc;
+  hc.channels = kChannels;
+  hc.height = 16;
+  hc.width = 16;
+  data::HyperspectralGenerator gen(hc, seed);
+  std::vector<Tensor> batches;
+  for (int i = 0; i < count; ++i) batches.push_back(gen.sample_batch(2));
+  return batches;
+}
+
+TEST(HybridDchag, DpOverDchagTrainsAndStaysInSync) {
+  const int steps = 12;
+  // Each DP replica sees its own data stream.
+  const auto replica_batches = std::vector<std::vector<Tensor>>{
+      make_batches(steps, 100), make_batches(steps, 200)};
+
+  comm::World world(4);
+  world.run([&](comm::Communicator& comm) {
+    // Ranks (0,1) and (2,3) form D-CHAG groups; (0,2) and (1,3) form DP.
+    comm::Communicator dchag_group = comm.split(comm.rank() / 2);
+    comm::Communicator dp_group = comm.split(comm.rank() % 2);
+    const int replica = comm.rank() / 2;
+
+    Rng rng(606);
+    auto mae = core::make_dchag_mae(ModelConfig::tiny(), kChannels,
+                                    dchag_group,
+                                    {1, AggLayerKind::kLinear}, rng);
+    auto params = mae->parameters();
+    train::Adam opt(params, {.lr = 2e-3f});
+
+    std::vector<float> losses;
+    for (int step = 0; step < steps; ++step) {
+      const Tensor& full =
+          replica_batches[static_cast<std::size_t>(replica)]
+                         [static_cast<std::size_t>(step)];
+      Tensor local = mae->frontend().select_input(full);
+      Rng mask_rng(777 + static_cast<std::uint64_t>(step));
+      Tensor mask = model::MaeModel::make_mask(
+          full.dim(0), ModelConfig::tiny().seq_len(), 0.75f, mask_rng);
+      opt.zero_grad();
+      auto out = mae->forward(local, full, mask);
+      out.loss.backward();
+      // DP sync: average gradients across replicas (rank-local D-CHAG
+      // params are replicated ACROSS replicas, so this is well-defined).
+      parallel::all_reduce_gradients(params, dp_group);
+      opt.step();
+      losses.push_back(out.loss.value().item());
+    }
+
+    // Training works...
+    float early = (losses[0] + losses[1]) / 2;
+    float late = (losses[losses.size() - 1] + losses[losses.size() - 2]) / 2;
+    ASSERT_LT(late, early);
+    // ...and replicas remain synchronised parameter-for-parameter.
+    ASSERT_TRUE(parallel::parameters_in_sync(params, dp_group, 1e-5f));
+  });
+}
+
+TEST(HybridDchag, FsdpOptimizerOverDchag) {
+  // FSDP-style sharded optimizer across the data dimension (ZeRO-1): the
+  // combination the paper's Fig. 15 "D-CHAG+TP+FSDP" configuration uses.
+  const int steps = 8;
+  const auto replica_batches = std::vector<std::vector<Tensor>>{
+      make_batches(steps, 300), make_batches(steps, 400)};
+
+  comm::World world(4);
+  world.run([&](comm::Communicator& comm) {
+    comm::Communicator dchag_group = comm.split(comm.rank() / 2);
+    comm::Communicator fsdp_group = comm.split(comm.rank() % 2);
+    const int replica = comm.rank() / 2;
+
+    Rng rng(909);
+    auto mae = core::make_dchag_mae(ModelConfig::tiny(), kChannels,
+                                    dchag_group,
+                                    {1, AggLayerKind::kCrossAttention}, rng);
+    auto params = mae->parameters();
+    train::FsdpAdam opt(params, fsdp_group, {.lr = 2e-3f});
+    // Optimizer state is genuinely sharded across the FSDP group.
+    ASSERT_LT(opt.owned_params(), params.size());
+
+    std::vector<float> losses;
+    for (int step = 0; step < steps; ++step) {
+      const Tensor& full =
+          replica_batches[static_cast<std::size_t>(replica)]
+                         [static_cast<std::size_t>(step)];
+      Tensor local = mae->frontend().select_input(full);
+      Rng mask_rng(888 + static_cast<std::uint64_t>(step));
+      Tensor mask = model::MaeModel::make_mask(
+          full.dim(0), ModelConfig::tiny().seq_len(), 0.75f, mask_rng);
+      opt.zero_grad();
+      auto out = mae->forward(local, full, mask);
+      out.loss.backward();
+      opt.step();  // FsdpAdam averages grads across the group internally
+      losses.push_back(out.loss.value().item());
+    }
+    ASSERT_LT(losses.back(), losses.front());
+    ASSERT_TRUE(parallel::parameters_in_sync(params, fsdp_group, 1e-5f));
+  });
+}
+
+TEST(HybridDchag, DchagBackwardStaysCommunicationFreeUnderHybrid) {
+  // Even inside the hybrid layout, the D-CHAG group's backward pass adds
+  // no collectives: the only group traffic is the forward AllGather; all
+  // gradient traffic rides the DP/FSDP dimension.
+  comm::World world(4);
+  world.run([&](comm::Communicator& comm) {
+    comm::Communicator dchag_group = comm.split(comm.rank() / 2);
+    comm::Communicator dp_group = comm.split(comm.rank() % 2);
+
+    Rng rng(111);
+    auto mae = core::make_dchag_mae(ModelConfig::tiny(), kChannels,
+                                    dchag_group,
+                                    {1, AggLayerKind::kLinear}, rng);
+    auto batches = make_batches(1, 500 + static_cast<std::uint64_t>(
+                                          comm.rank() / 2));
+    Tensor local = mae->frontend().select_input(batches[0]);
+    Rng mask_rng(1);
+    Tensor mask = model::MaeModel::make_mask(
+        2, ModelConfig::tiny().seq_len(), 0.75f, mask_rng);
+    auto out = mae->forward(local, batches[0], mask);
+
+    const auto dchag_calls_after_fwd = dchag_group.stats().total_calls();
+    out.loss.backward();
+    ASSERT_EQ(dchag_group.stats().total_calls(), dchag_calls_after_fwd)
+        << "D-CHAG group communicated during backward";
+
+    auto params = mae->parameters();
+    parallel::all_reduce_gradients(params, dp_group);
+    ASSERT_GT(dp_group.stats().total_calls(), 0u);
+  });
+}
+
+}  // namespace
+}  // namespace dchag

@@ -1,0 +1,177 @@
+#include "model/aggregation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace dchag::model {
+namespace {
+
+namespace ops = tensor::ops;
+using autograd::Variable;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+// ----- TreePlan properties ----------------------------------------------------
+
+struct PlanParam {
+  Index channels;
+  Index max_width;
+};
+
+class TreePlanSweep : public ::testing::TestWithParam<PlanParam> {};
+
+TEST_P(TreePlanSweep, EveryLevelPartitionsItsInputs) {
+  const auto [c, w] = GetParam();
+  TreePlan plan = plan_tree(c, w);
+  Index tokens = c;
+  for (const auto& level : plan.level_widths) {
+    const Index covered = std::accumulate(level.begin(), level.end(),
+                                          Index{0});
+    ASSERT_EQ(covered, tokens) << "channels=" << c << " width=" << w;
+    for (Index width : level) {
+      ASSERT_GE(width, 1);
+      ASSERT_LE(width, w == 1 ? 1 : w);
+    }
+    tokens = static_cast<Index>(level.size());
+  }
+  EXPECT_EQ(tokens, 1);  // tree always reduces to one representation
+}
+
+TEST_P(TreePlanSweep, MaxWidthRespected) {
+  const auto [c, w] = GetParam();
+  TreePlan plan = plan_tree(c, w);
+  EXPECT_LE(plan.max_width(), std::max<Index>(w, 1));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ChannelsAndWidths, TreePlanSweep,
+    ::testing::Values(PlanParam{1, 2}, PlanParam{2, 2}, PlanParam{8, 2},
+                      PlanParam{8, 4}, PlanParam{8, 8}, PlanParam{7, 3},
+                      PlanParam{500, 63}, PlanParam{512, 128},
+                      PlanParam{1024, 32}, PlanParam{100, 100}),
+    [](const ::testing::TestParamInfo<PlanParam>& info) {
+      return "C" + std::to_string(info.param.channels) + "W" +
+             std::to_string(info.param.max_width);
+    });
+
+TEST(TreePlan, PaperFig3Configurations) {
+  // Paper Fig. 3: eight channels with one, two, and three levels.
+  EXPECT_EQ(plan_tree(8, 8).num_levels(), 1);   // baseline: single layer
+  EXPECT_EQ(plan_tree(8, 4).num_levels(), 2);   // two-layer hierarchy
+  EXPECT_EQ(plan_tree(8, 2).num_levels(), 3);   // three-layer hierarchy
+}
+
+TEST(TreePlan, PaperTreeNamingFig9) {
+  // Paper Fig. 9 caption: 512 channels on two GPUs -> 256 local channels.
+  // Tree2 = two first-level units of <=128 channels; Tree8 = eight units
+  // of <=32 channels.
+  EXPECT_EQ(tree_units_to_width(256, 2), 128);
+  EXPECT_EQ(tree_units_to_width(256, 8), 32);
+  TreePlan tree2 = plan_tree(256, 128);
+  ASSERT_EQ(tree2.num_levels(), 2);
+  EXPECT_EQ(tree2.level_widths[0].size(), 2u);
+  TreePlan tree8 = plan_tree(256, 32);
+  EXPECT_EQ(tree8.level_widths[0].size(), 8u);
+}
+
+TEST(TreePlan, Tree0IsSingleUnit) {
+  EXPECT_EQ(tree_units_to_width(256, 0), 256);
+  EXPECT_EQ(tree_units_to_width(256, 1), 256);
+  TreePlan p = plan_tree(256, 256);
+  EXPECT_EQ(p.num_levels(), 1);
+  EXPECT_EQ(p.num_units(), 1);
+}
+
+TEST(TreePlan, UnitsExceedingChannelsThrows) {
+  EXPECT_THROW(tree_units_to_width(4, 8), Error);
+}
+
+TEST(TreePlan, DeeperTreesHaveMoreUnits) {
+  // Paper §3.2: more layers -> more parameters (the -L/-C tradeoff).
+  EXPECT_LT(plan_tree(256, 256).num_units(), plan_tree(256, 128).num_units());
+  EXPECT_LT(plan_tree(256, 128).num_units(), plan_tree(256, 32).num_units());
+}
+
+// ----- AggregationTree module -------------------------------------------------
+
+TEST(AggregationTree, ForwardShapeAllKinds) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(1);
+  Tensor tokens = rng.normal_tensor(Shape{2, 3, 8, cfg.embed_dim});
+  for (AggLayerKind kind :
+       {AggLayerKind::kCrossAttention, AggLayerKind::kLinear}) {
+    for (Index units : {1, 2, 4}) {
+      auto tree = AggregationTree::with_units(cfg, kind, 8, units, rng);
+      Variable out = tree->forward(Variable::input(tokens));
+      EXPECT_EQ(out.shape(), (Shape{2, 3, cfg.embed_dim}))
+          << to_string(kind) << " units=" << units;
+    }
+  }
+}
+
+TEST(AggregationTree, SingleUnitEqualsPlainAggregator) {
+  // A Tree0 (one unit over all channels) must equal the standalone unit
+  // with identical seeding.
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng_tree(7);
+  auto tree = AggregationTree::with_units(cfg, AggLayerKind::kCrossAttention,
+                                          4, 1, rng_tree, "tree");
+  Rng rng_unit(7);
+  CrossAttentionAggregator unit(cfg.embed_dim, cfg.num_heads, 4,
+                                cfg.query_mode, rng_unit, "tree.l0u0");
+  Tensor tokens = Rng(3).normal_tensor(Shape{1, 2, 4, cfg.embed_dim});
+  Tensor a = tree->forward(Variable::input(tokens)).value();
+  Tensor b = unit.forward(Variable::input(tokens)).value();
+  EXPECT_LT(ops::max_abs_diff(a, b), 1e-6f);
+}
+
+TEST(AggregationTree, OutputDependsOnEveryChannel) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(4);
+  auto tree =
+      AggregationTree::with_units(cfg, AggLayerKind::kLinear, 8, 4, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 2, 8, cfg.embed_dim});
+  Tensor base = tree->forward(Variable::input(tokens)).value();
+  for (Index c = 0; c < 8; ++c) {
+    Tensor mod = tokens.clone();
+    mod.set({0, 0, c, 0}, mod.at({0, 0, c, 0}) + 2.0f);
+    Tensor out = tree->forward(Variable::input(mod)).value();
+    EXPECT_GT(ops::max_abs_diff(base, out), 1e-6f) << "channel " << c;
+  }
+}
+
+TEST(AggregationTree, GradientsReachAllUnits) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(5);
+  auto tree = AggregationTree::with_units(cfg, AggLayerKind::kCrossAttention,
+                                          8, 2, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 2, 8, cfg.embed_dim});
+  autograd::sum_all(tree->forward(Variable::input(tokens))).backward();
+  for (const auto& p : tree->parameters())
+    EXPECT_TRUE(p.has_grad()) << p.name();
+}
+
+TEST(AggregationTree, RejectsWidthMismatch) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(6);
+  auto tree =
+      AggregationTree::with_units(cfg, AggLayerKind::kLinear, 8, 2, rng);
+  EXPECT_THROW(
+      tree->forward(Variable::input(Tensor(Shape{1, 2, 7, cfg.embed_dim}))),
+      Error);
+}
+
+TEST(AggregationTree, LinearTreeCheaperThanCrossTree) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(8);
+  auto ct = AggregationTree::with_units(cfg, AggLayerKind::kCrossAttention,
+                                        16, 4, rng);
+  auto lt =
+      AggregationTree::with_units(cfg, AggLayerKind::kLinear, 16, 4, rng);
+  EXPECT_LT(lt->num_parameters(), ct->num_parameters());
+}
+
+}  // namespace
+}  // namespace dchag::model

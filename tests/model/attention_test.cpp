@@ -1,0 +1,172 @@
+#include "model/attention.hpp"
+
+#include <gtest/gtest.h>
+
+#include "testing/gradcheck.hpp"
+
+namespace dchag::model {
+namespace {
+
+namespace ops = tensor::ops;
+using autograd::Variable;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(SelfAttention, ShapePreserved) {
+  Rng rng(1);
+  MultiHeadSelfAttention attn(32, 4, rng);
+  Tensor x = rng.normal_tensor(Shape{2, 6, 32});
+  EXPECT_EQ(attn.forward(Variable::input(x)).shape(), (Shape{2, 6, 32}));
+}
+
+TEST(SelfAttention, SingleHeadEqualsManualComputation) {
+  Rng rng(2);
+  MultiHeadSelfAttention attn(8, 1, rng);
+  auto params = attn.parameters();  // wq.w, wq.b, wk.w, wk.b, wv.w, wv.b, wo...
+  Tensor x = rng.normal_tensor(Shape{1, 3, 8});
+  Tensor q = ops::add(ops::matmul(x, params[0].value()), params[1].value());
+  Tensor k = ops::add(ops::matmul(x, params[2].value()), params[3].value());
+  Tensor v = ops::add(ops::matmul(x, params[4].value()), params[5].value());
+  Tensor scores = ops::scale(ops::matmul(q, ops::transpose_last2(k)),
+                             1.0f / std::sqrt(8.0f));
+  Tensor attn_out = ops::matmul(ops::softmax_lastdim(scores), v);
+  Tensor expected =
+      ops::add(ops::matmul(attn_out, params[6].value()), params[7].value());
+  Tensor got = attn.forward(Variable::input(x)).value();
+  EXPECT_LT(ops::max_abs_diff(got, expected), 1e-4f);
+}
+
+TEST(SelfAttention, PermutationEquivariantWithoutPositions) {
+  // Self-attention with no positional input is equivariant to reordering
+  // the sequence: swap two tokens in, swap the same two out.
+  Rng rng(3);
+  MultiHeadSelfAttention attn(16, 4, rng);
+  Tensor x = rng.normal_tensor(Shape{1, 4, 16});
+  Tensor x_swapped = x.clone();
+  for (tensor::Index d = 0; d < 16; ++d) {
+    const float tmp = x_swapped.at({0, 1, d});
+    x_swapped.set({0, 1, d}, x_swapped.at({0, 2, d}));
+    x_swapped.set({0, 2, d}, tmp);
+  }
+  Tensor y = attn.forward(Variable::input(x)).value();
+  Tensor y_swapped = attn.forward(Variable::input(x_swapped)).value();
+  for (tensor::Index d = 0; d < 16; ++d) {
+    EXPECT_NEAR(y.at({0, 1, d}), y_swapped.at({0, 2, d}), 1e-4f);
+    EXPECT_NEAR(y.at({0, 2, d}), y_swapped.at({0, 1, d}), 1e-4f);
+  }
+}
+
+TEST(SelfAttention, GradcheckThroughFullBlock) {
+  Rng rng(4);
+  MultiHeadSelfAttention attn(8, 2, rng);
+  Tensor x = rng.normal_tensor(Shape{1, 3, 8});
+  auto fn = [&attn, x](const std::vector<Variable>&) {
+    // Check input-side gradients by re-running on the (perturbed) leaf.
+    return autograd::mean_all(
+        autograd::mul(attn.forward(Variable::input(x)),
+                      attn.forward(Variable::input(x))));
+  };
+  // Parameter-side gradient check on wq weight.
+  auto params = attn.parameters();
+  auto fn2 = [&attn, x](const std::vector<Variable>&) {
+    Variable y = attn.forward(Variable::input(x));
+    return autograd::mean_all(autograd::mul(y, y));
+  };
+  const float err = dchag::testing::gradcheck(fn2, {params[0], params[7]});
+  EXPECT_LT(err, 3e-2f);
+  (void)fn;
+}
+
+TEST(CrossAttentionAggregator, ChannelTokensModeShape) {
+  Rng rng(5);
+  CrossAttentionAggregator agg(32, 4, 6, QueryMode::kChannelTokens, rng);
+  Tensor tokens = rng.normal_tensor(Shape{2, 4, 6, 32});
+  EXPECT_EQ(agg.forward(Variable::input(tokens)).shape(), (Shape{2, 4, 32}));
+}
+
+TEST(CrossAttentionAggregator, LearnedQueryModeShape) {
+  Rng rng(6);
+  CrossAttentionAggregator agg(32, 4, 6, QueryMode::kLearnedQuery, rng);
+  Tensor tokens = rng.normal_tensor(Shape{2, 4, 6, 32});
+  EXPECT_EQ(agg.forward(Variable::input(tokens)).shape(), (Shape{2, 4, 32}));
+}
+
+TEST(CrossAttentionAggregator, WidthContract) {
+  // Cross-attention is width-agnostic up to the nominal channel count
+  // (paper §2.1: inference on channel subsets) but rejects wider inputs
+  // and wrong embedding dims.
+  Rng rng(7);
+  CrossAttentionAggregator agg(32, 4, 6, QueryMode::kChannelTokens, rng);
+  EXPECT_EQ(agg.forward(Variable::input(Tensor(Shape{2, 4, 5, 32}))).shape(),
+            (Shape{2, 4, 32}));
+  EXPECT_THROW(agg.forward(Variable::input(Tensor(Shape{2, 4, 7, 32}))),
+               Error);
+  EXPECT_THROW(agg.forward(Variable::input(Tensor(Shape{2, 4, 6, 16}))),
+               Error);
+}
+
+TEST(CrossAttentionAggregator, OutputDependsOnEveryChannel) {
+  Rng rng(8);
+  CrossAttentionAggregator agg(16, 2, 4, QueryMode::kChannelTokens, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 2, 4, 16});
+  Tensor base = agg.forward(Variable::input(tokens)).value();
+  for (tensor::Index c = 0; c < 4; ++c) {
+    Tensor mod = tokens.clone();
+    mod.set({0, 0, c, 0}, mod.at({0, 0, c, 0}) + 1.0f);
+    Tensor out = agg.forward(Variable::input(mod)).value();
+    EXPECT_GT(ops::max_abs_diff(base, out), 1e-5f) << "channel " << c;
+  }
+}
+
+TEST(CrossAttentionAggregator, GradFlowsToAllParams) {
+  Rng rng(9);
+  CrossAttentionAggregator agg(16, 2, 3, QueryMode::kLearnedQuery, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 2, 3, 16});
+  autograd::sum_all(agg.forward(Variable::input(tokens))).backward();
+  for (const auto& p : agg.parameters()) EXPECT_TRUE(p.has_grad()) << p.name();
+}
+
+TEST(LinearAggregator, ShapeAndInitIsMean) {
+  Rng rng(10);
+  LinearAggregator agg(16, 4, rng);
+  Tensor tokens = rng.normal_tensor(Shape{2, 3, 4, 16});
+  Variable out = agg.forward(Variable::input(tokens));
+  EXPECT_EQ(out.shape(), (Shape{2, 3, 16}));
+  // combine weights initialise to 1/C: the mixed token before projection is
+  // the channel mean of the layer-normed tokens.
+  auto params = agg.parameters();
+  auto combine = std::find_if(params.begin(), params.end(), [](const auto& p) {
+    return p.name() == "linagg.combine";
+  });
+  ASSERT_NE(combine, params.end());
+  for (float w : combine->value().span()) EXPECT_NEAR(w, 0.25f, 1e-6f);
+}
+
+TEST(LinearAggregator, GradcheckCombineWeights) {
+  Rng rng(11);
+  LinearAggregator agg(8, 3, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 2, 3, 8});
+  auto params = agg.parameters();
+  auto fn = [&agg, tokens](const std::vector<Variable>&) {
+    Variable y = agg.forward(Variable::input(tokens));
+    return autograd::mean_all(autograd::mul(y, y));
+  };
+  const float err = dchag::testing::gradcheck(fn, {params[2], params[3]});
+  EXPECT_LT(err, 3e-2f);
+}
+
+TEST(MakeAggregator, FactorySelectsKind) {
+  Rng rng(12);
+  auto c = make_aggregator(AggLayerKind::kCrossAttention, 16, 2, 4,
+                           QueryMode::kChannelTokens, rng, "a");
+  auto l = make_aggregator(AggLayerKind::kLinear, 16, 2, 4,
+                           QueryMode::kChannelTokens, rng, "b");
+  EXPECT_NE(dynamic_cast<CrossAttentionAggregator*>(c.get()), nullptr);
+  EXPECT_NE(dynamic_cast<LinearAggregator*>(l.get()), nullptr);
+  EXPECT_EQ(c->width(), 4);
+  EXPECT_EQ(l->width(), 4);
+}
+
+}  // namespace
+}  // namespace dchag::model

@@ -1,0 +1,119 @@
+#include "model/config.hpp"
+
+#include <gtest/gtest.h>
+
+#include "model/aggregation.hpp"
+#include "model/foundation.hpp"
+#include "model/tokenizer.hpp"
+#include "model/vit.hpp"
+
+namespace dchag::model {
+namespace {
+
+TEST(ModelConfig, PresetsMatchPaperDims) {
+  // §6.1: 7B (4096 embed, 32 layers, 32 heads), 15B (6144), 26B (8192).
+  ModelConfig c7 = ModelConfig::preset("7B");
+  EXPECT_EQ(c7.embed_dim, 4096);
+  EXPECT_EQ(c7.num_layers, 32);
+  EXPECT_EQ(c7.num_heads, 32);
+  EXPECT_EQ(ModelConfig::preset("15B").embed_dim, 6144);
+  EXPECT_EQ(ModelConfig::preset("26B").embed_dim, 8192);
+}
+
+TEST(ModelConfig, PresetTransformerParamCountsNearNominal) {
+  // Transformer-block parameters should be within 15% of the nominal name.
+  const std::pair<const char*, double> cases[] = {
+      {"1.7B", 1.7e9}, {"3B", 3e9}, {"7B", 7e9}, {"15B", 15e9}, {"26B", 26e9}};
+  for (const auto& [name, nominal] : cases) {
+    const auto params = static_cast<double>(
+        ModelConfig::preset(name).transformer_params());
+    EXPECT_GT(params, nominal * 0.8) << name;
+    EXPECT_LT(params, nominal * 1.15) << name;
+  }
+}
+
+TEST(ModelConfig, UnknownPresetThrows) {
+  EXPECT_THROW(ModelConfig::preset("9000B"), Error);
+}
+
+TEST(ModelConfig, SeqLenAndValidation) {
+  ModelConfig c = ModelConfig::tiny();
+  EXPECT_EQ(c.seq_len(), 16);  // 16x16 image, patch 4
+  c.image_h = 15;
+  EXPECT_THROW(c.validate(), Error);
+  c = ModelConfig::tiny();
+  c.num_heads = 5;  // 32 % 5 != 0
+  EXPECT_THROW(c.validate(), Error);
+}
+
+// ----- analytic parameter formulas vs executable modules ---------------------
+
+TEST(ParamFormulas, TokenizerMatchesModule) {
+  ModelConfig cfg = ModelConfig::tiny();
+  tensor::Rng rng(1);
+  for (Index c : {1, 3, 8}) {
+    PatchTokenizer tok(cfg, c, rng);
+    EXPECT_EQ(tok.num_parameters(), cfg.tokenizer_params(c))
+        << "channels=" << c;
+  }
+}
+
+TEST(ParamFormulas, CrossAttentionAggregatorMatches) {
+  ModelConfig cfg = ModelConfig::tiny();
+  tensor::Rng rng(2);
+  CrossAttentionAggregator agg(cfg.embed_dim, cfg.num_heads, 8,
+                               QueryMode::kChannelTokens, rng);
+  EXPECT_EQ(agg.num_parameters(),
+            cfg.aggregator_params(AggLayerKind::kCrossAttention, 8));
+
+  cfg.query_mode = QueryMode::kLearnedQuery;
+  CrossAttentionAggregator agg2(cfg.embed_dim, cfg.num_heads, 8,
+                                QueryMode::kLearnedQuery, rng);
+  EXPECT_EQ(agg2.num_parameters(),
+            cfg.aggregator_params(AggLayerKind::kCrossAttention, 8));
+}
+
+TEST(ParamFormulas, LinearAggregatorMatchesAndIsSmaller) {
+  ModelConfig cfg = ModelConfig::tiny();
+  tensor::Rng rng(3);
+  LinearAggregator agg(cfg.embed_dim, 8, rng);
+  EXPECT_EQ(agg.num_parameters(),
+            cfg.aggregator_params(AggLayerKind::kLinear, 8));
+  // The -L unit must be cheaper than -C (paper's motivation for -L).
+  EXPECT_LT(cfg.aggregator_params(AggLayerKind::kLinear, 8),
+            cfg.aggregator_params(AggLayerKind::kCrossAttention, 8));
+}
+
+TEST(ParamFormulas, TransformerMatchesEncoder) {
+  ModelConfig cfg = ModelConfig::tiny();
+  tensor::Rng rng(4);
+  ViTEncoder enc(cfg, rng);
+  EXPECT_EQ(enc.num_parameters(), cfg.transformer_params());
+}
+
+TEST(ParamFormulas, TreeMatchesModule) {
+  ModelConfig cfg = ModelConfig::tiny();
+  tensor::Rng rng(5);
+  for (Index units : {1, 2, 4}) {
+    auto tree = AggregationTree::with_units(
+        cfg, AggLayerKind::kCrossAttention, 8, units, rng);
+    EXPECT_EQ(tree->num_parameters(),
+              tree_params(cfg, AggLayerKind::kCrossAttention, tree->plan()))
+        << "units=" << units;
+  }
+  auto ltree =
+      AggregationTree::with_units(cfg, AggLayerKind::kLinear, 8, 4, rng);
+  EXPECT_EQ(ltree->num_parameters(),
+            tree_params(cfg, AggLayerKind::kLinear, ltree->plan()));
+}
+
+TEST(ParamFormulas, TokenizerGrowsLinearlyInChannels) {
+  ModelConfig cfg = ModelConfig::preset("7B");
+  const Index base = cfg.tokenizer_params(0);  // positional embedding only
+  const Index c128 = cfg.tokenizer_params(128) - base;
+  const Index c256 = cfg.tokenizer_params(256) - base;
+  EXPECT_EQ(c256, 2 * c128);
+}
+
+}  // namespace
+}  // namespace dchag::model

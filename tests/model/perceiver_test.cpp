@@ -1,0 +1,97 @@
+#include "model/perceiver.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dchag::model {
+namespace {
+
+namespace ops = tensor::ops;
+using autograd::Variable;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Perceiver, OutputShape) {
+  Rng rng(1);
+  PerceiverAggregator agg(32, 4, /*channels=*/10, /*latents=*/4,
+                          /*iterations=*/2, rng);
+  Tensor tokens = rng.normal_tensor(Shape{2, 3, 10, 32});
+  EXPECT_EQ(agg.forward(Variable::input(tokens)).shape(), (Shape{2, 3, 32}));
+  EXPECT_EQ(agg.width(), 10);
+  EXPECT_EQ(agg.num_latents(), 4);
+  EXPECT_EQ(agg.num_iterations(), 2);
+}
+
+TEST(Perceiver, ParamFormulaMatchesModule) {
+  Rng rng(2);
+  for (Index iters : {1, 2, 3}) {
+    PerceiverAggregator agg(32, 4, 8, 6, iters, rng);
+    EXPECT_EQ(agg.num_parameters(), perceiver_params(32, 6, iters))
+        << "iters=" << iters;
+  }
+}
+
+TEST(Perceiver, ParamsIndependentOfChannelCount) {
+  // The whole point of latent bottlenecks: model size does not grow with
+  // the number of input channels.
+  Rng rng(3);
+  PerceiverAggregator a(32, 4, 8, 4, 2, rng, "p");
+  PerceiverAggregator b(32, 4, 512, 4, 2, rng, "p");
+  EXPECT_EQ(a.num_parameters(), b.num_parameters());
+}
+
+TEST(Perceiver, OutputDependsOnEveryChannel) {
+  Rng rng(4);
+  PerceiverAggregator agg(16, 2, 5, 3, 1, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 2, 5, 16});
+  Tensor base = agg.forward(Variable::input(tokens)).value();
+  for (Index c = 0; c < 5; ++c) {
+    Tensor mod = tokens.clone();
+    mod.set({0, 0, c, 0}, mod.at({0, 0, c, 0}) + 2.0f);
+    EXPECT_GT(ops::max_abs_diff(agg.forward(Variable::input(mod)).value(),
+                                base),
+              1e-6f)
+        << "channel " << c;
+  }
+}
+
+TEST(Perceiver, GradientsFlowToLatentsAndAllBlocks) {
+  Rng rng(5);
+  PerceiverAggregator agg(16, 2, 4, 3, 2, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 2, 4, 16});
+  autograd::sum_all(agg.forward(Variable::input(tokens))).backward();
+  for (const auto& p : agg.parameters()) {
+    EXPECT_TRUE(p.has_grad()) << p.name();
+  }
+}
+
+TEST(Perceiver, MoreIterationsChangeOutput) {
+  Rng a_rng(6);
+  Rng b_rng(6);
+  PerceiverAggregator one(16, 2, 4, 3, 1, a_rng, "p");
+  PerceiverAggregator two(16, 2, 4, 3, 2, b_rng, "p");
+  Tensor tokens = Rng(7).normal_tensor(Shape{1, 2, 4, 16});
+  EXPECT_GT(ops::max_abs_diff(one.forward(Variable::input(tokens)).value(),
+                              two.forward(Variable::input(tokens)).value()),
+            1e-5f);
+}
+
+TEST(Perceiver, PluggableAsChannelAggregator) {
+  // Composes with the rest of the stack through the common interface —
+  // the property paper §3.5 relies on for Aurora-style fusion modules.
+  Rng rng(8);
+  std::unique_ptr<ChannelAggregator> agg =
+      std::make_unique<PerceiverAggregator>(32, 4, 6, 2, 1, rng);
+  Tensor tokens = rng.normal_tensor(Shape{1, 4, 6, 32});
+  EXPECT_EQ(agg->forward(Variable::input(tokens)).shape(), (Shape{1, 4, 32}));
+}
+
+TEST(Perceiver, RejectsBadConfig) {
+  Rng rng(9);
+  EXPECT_THROW(PerceiverAggregator(32, 5, 4, 2, 1, rng), Error);  // heads
+  EXPECT_THROW(PerceiverAggregator(32, 4, 4, 0, 1, rng), Error);  // latents
+  EXPECT_THROW(PerceiverAggregator(32, 4, 4, 2, 0, rng), Error);  // iters
+}
+
+}  // namespace
+}  // namespace dchag::model

@@ -1,0 +1,149 @@
+#include "model/tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dchag::model {
+namespace {
+
+namespace ops = tensor::ops;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(Patchify, RoundTrip) {
+  Rng rng(1);
+  Tensor img = rng.normal_tensor(Shape{2, 3, 8, 8});
+  Tensor patches = patchify(img, 4);
+  EXPECT_EQ(patches.shape(), (Shape{2, 3, 4, 16}));
+  Tensor back = unpatchify(patches, 4, 8, 8);
+  EXPECT_LT(ops::max_abs_diff(img, back), 1e-7f);
+}
+
+TEST(Patchify, SpatialOrderRowMajor) {
+  // 1 image, 1 channel, 4x4, patch 2: patch 1 covers columns 2-3, rows 0-1.
+  Tensor img(Shape{1, 1, 4, 4});
+  for (tensor::Index i = 0; i < 16; ++i)
+    img.data()[i] = static_cast<float>(i);
+  Tensor p = patchify(img, 2);
+  // patch 0: pixels (0,0),(0,1),(1,0),(1,1) = 0,1,4,5
+  EXPECT_EQ(p.at({0, 0, 0, 0}), 0.0f);
+  EXPECT_EQ(p.at({0, 0, 0, 1}), 1.0f);
+  EXPECT_EQ(p.at({0, 0, 0, 2}), 4.0f);
+  EXPECT_EQ(p.at({0, 0, 0, 3}), 5.0f);
+  // patch 1: pixels (0,2),(0,3),(1,2),(1,3) = 2,3,6,7
+  EXPECT_EQ(p.at({0, 0, 1, 0}), 2.0f);
+  // patch 2 (second row of patches): starts at pixel (2,0) = 8
+  EXPECT_EQ(p.at({0, 0, 2, 0}), 8.0f);
+}
+
+TEST(Patchify, RejectsBadShapes) {
+  EXPECT_THROW(patchify(Tensor(Shape{2, 3, 8}), 4), Error);
+  EXPECT_THROW(patchify(Tensor(Shape{1, 1, 9, 8}), 4), Error);
+}
+
+TEST(PatchTokenizer, OutputShape) {
+  ModelConfig cfg = ModelConfig::tiny();  // 16x16, patch 4 -> S=16, D=32
+  Rng rng(2);
+  PatchTokenizer tok(cfg, 5, rng);
+  Tensor img = rng.normal_tensor(Shape{2, 5, 16, 16});
+  auto out = tok.forward(img);
+  EXPECT_EQ(out.shape(), (Shape{2, 5, 16, 32}));
+}
+
+TEST(PatchTokenizer, RejectsChannelMismatch) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(3);
+  PatchTokenizer tok(cfg, 4, rng);
+  EXPECT_THROW(tok.forward(Tensor(Shape{1, 3, 16, 16})), Error);
+}
+
+/// The load-bearing property for D-CHAG (§3.1): tokenizing a channel
+/// subset with the same master seed produces exactly the slice of the
+/// full tokenizer's output for those channels.
+TEST(PatchTokenizer, PartitionInvariance) {
+  ModelConfig cfg = ModelConfig::tiny();
+  const tensor::Index C = 6;
+  Rng master(42);
+  Rng data_rng(7);
+  Tensor img = data_rng.normal_tensor(Shape{2, C, 16, 16});
+
+  Rng full_rng = master.fork(99);
+  PatchTokenizer full(cfg, C, full_rng);
+  Tensor full_out = full.forward(img).value();
+
+  // Two-way partition: channels {0,1,2} and {3,4,5}.
+  Rng lo_rng = master.fork(99);
+  Rng hi_rng = master.fork(99);
+  PatchTokenizer lo(cfg, std::vector<tensor::Index>{0, 1, 2}, lo_rng);
+  PatchTokenizer hi(cfg, std::vector<tensor::Index>{3, 4, 5}, hi_rng);
+  Tensor lo_out = lo.forward(ops::slice(img, 1, 0, 3)).value();
+  Tensor hi_out = hi.forward(ops::slice(img, 1, 3, 3)).value();
+
+  EXPECT_LT(ops::max_abs_diff(ops::slice(full_out, 1, 0, 3), lo_out), 1e-6f);
+  EXPECT_LT(ops::max_abs_diff(ops::slice(full_out, 1, 3, 3), hi_out), 1e-6f);
+}
+
+TEST(PatchTokenizer, UnevenPartitionInvariance) {
+  ModelConfig cfg = ModelConfig::tiny();
+  const tensor::Index C = 5;
+  Rng master(11);
+  Tensor img = Rng(8).normal_tensor(Shape{1, C, 16, 16});
+
+  Rng full_rng = master.fork(1);
+  PatchTokenizer full(cfg, C, full_rng);
+  Tensor full_out = full.forward(img).value();
+
+  Rng part_rng = master.fork(1);
+  PatchTokenizer part(cfg, std::vector<tensor::Index>{1, 4}, part_rng);
+  Tensor part_in = ops::concat(
+      std::vector<Tensor>{ops::slice(img, 1, 1, 1), ops::slice(img, 1, 4, 1)},
+      1);
+  Tensor part_out = part.forward(part_in).value();
+  EXPECT_LT(ops::max_abs_diff(ops::slice(full_out, 1, 1, 1),
+                              ops::slice(part_out, 1, 0, 1)),
+            1e-6f);
+  EXPECT_LT(ops::max_abs_diff(ops::slice(full_out, 1, 4, 1),
+                              ops::slice(part_out, 1, 1, 1)),
+            1e-6f);
+}
+
+TEST(PatchTokenizer, ChannelsGetDistinctEmbeddings) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(5);
+  PatchTokenizer tok(cfg, 2, rng);
+  // Identical pixel content in both channels must still produce different
+  // tokens (channel-ID embedding + per-channel weights).
+  Tensor img(Shape{1, 2, 16, 16}, 0.5f);
+  Tensor out = tok.forward(img).value();
+  Tensor c0 = ops::slice(out, 1, 0, 1);
+  Tensor c1 = ops::slice(out, 1, 1, 1);
+  EXPECT_GT(ops::max_abs_diff(c0, c1), 1e-3f);
+}
+
+TEST(PatchTokenizer, GradientsFlowToAllParams) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(6);
+  PatchTokenizer tok(cfg, 2, rng);
+  Tensor img = rng.normal_tensor(Shape{1, 2, 16, 16});
+  autograd::sum_all(tok.forward(img)).backward();
+  for (const auto& p : tok.parameters()) {
+    EXPECT_TRUE(p.has_grad()) << p.name();
+  }
+}
+
+TEST(PatchTokenizer, SameSeedSameWeights) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng a(9);
+  Rng b(9);
+  PatchTokenizer ta(cfg, 3, a);
+  PatchTokenizer tb(cfg, 3, b);
+  auto pa = ta.parameters();
+  auto pb = tb.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(ops::max_abs_diff(pa[i].value(), pb[i].value()), 0.0f + 1e-9f);
+  }
+}
+
+}  // namespace
+}  // namespace dchag::model

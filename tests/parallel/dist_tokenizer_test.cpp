@@ -1,0 +1,127 @@
+#include "parallel/dist_tokenizer.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dchag::parallel {
+namespace {
+
+namespace ops = tensor::ops;
+using comm::World;
+using model::ModelConfig;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(ChannelShard, ContiguousAndComplete) {
+  auto r0 = channel_shard(8, 4, 0);
+  auto r3 = channel_shard(8, 4, 3);
+  EXPECT_EQ(r0, (std::vector<tensor::Index>{0, 1}));
+  EXPECT_EQ(r3, (std::vector<tensor::Index>{6, 7}));
+  EXPECT_THROW(channel_shard(10, 4, 0), Error);
+}
+
+TEST(DistributedTokenizer, GatheredTokensMatchSerialTokenizer) {
+  // §3.1: distributing tokenization must be math-neutral — the gathered
+  // token tensor equals the serial tokenizer's output exactly.
+  ModelConfig cfg = ModelConfig::tiny();
+  const tensor::Index C = 8;
+  Rng data_rng(5);
+  Tensor img = data_rng.normal_tensor(Shape{2, C, 16, 16});
+
+  Rng serial_rng(99);
+  model::PatchTokenizer serial(cfg, C, serial_rng);
+  Tensor ref = serial.forward(img).value();
+
+  for (int P : {1, 2, 4}) {
+    World world(P);
+    world.run([&](Communicator& comm) {
+      Rng rng(99);
+      DistributedTokenizer dist(cfg, C, comm, rng);
+      const tensor::Index cl = C / P;
+      Tensor local = ops::slice(img, 1, comm.rank() * cl, cl);
+      Variable full = dist.forward(local);
+      ASSERT_EQ(full.shape(), ref.shape());
+      ASSERT_LT(ops::max_abs_diff(full.value(), ref), 1e-5f)
+          << "P=" << P << " rank=" << comm.rank();
+    });
+  }
+}
+
+TEST(DistributedTokenizer, LocalForwardIsOwnSlice) {
+  ModelConfig cfg = ModelConfig::tiny();
+  const tensor::Index C = 4;
+  Rng data_rng(6);
+  Tensor img = data_rng.normal_tensor(Shape{1, C, 16, 16});
+  Rng serial_rng(100);
+  model::PatchTokenizer serial(cfg, C, serial_rng);
+  Tensor ref = serial.forward(img).value();
+
+  World world(2);
+  world.run([&](Communicator& comm) {
+    Rng rng(100);
+    DistributedTokenizer dist(cfg, C, comm, rng);
+    Tensor local = ops::slice(img, 1, comm.rank() * 2, 2);
+    Variable mine = dist.forward_local(local);
+    Tensor expected = ops::slice(ref, 1, comm.rank() * 2, 2);
+    ASSERT_LT(ops::max_abs_diff(mine.value(), expected), 1e-5f);
+  });
+}
+
+TEST(DistributedTokenizer, BackwardGradMatchesSerialWithReplicatedLoss) {
+  // Replicated downstream loss: each rank's per-channel weight gradients
+  // must equal the serial tokenizer's gradients for those channels.
+  ModelConfig cfg = ModelConfig::tiny();
+  const tensor::Index C = 4;
+  Rng data_rng(7);
+  Tensor img = data_rng.normal_tensor(Shape{1, C, 16, 16});
+
+  Rng serial_rng(101);
+  model::PatchTokenizer serial(cfg, C, serial_rng);
+  {
+    Variable tokens = serial.forward(img);
+    autograd::mean_all(autograd::mul(tokens, tokens)).backward();
+  }
+  auto serial_params = serial.parameters();
+
+  World world(2);
+  world.run([&](Communicator& comm) {
+    Rng rng(101);
+    DistributedTokenizer dist(cfg, C, comm, rng);
+    Tensor local = ops::slice(img, 1, comm.rank() * 2, 2);
+    Variable gathered = dist.forward(local);
+    autograd::mean_all(autograd::mul(gathered, gathered)).backward();
+
+    // Match by parameter name: per-channel embed weights carry the global
+    // channel id in their name. The positional embedding is excluded: it
+    // is a rank-local replica that accumulates only its own channels'
+    // gradients (the serial one sums over all channels).
+    for (const Variable& p : dist.parameters()) {
+      if (!p.has_grad() || p.name() == "tokenizer.pos_emb") continue;
+      for (const Variable& sp : serial_params) {
+        if (sp.name() == p.name() && sp.shape() == p.shape()) {
+          ASSERT_LT(ops::max_abs_diff(p.grad(), sp.grad()), 1e-4f)
+              << p.name() << " rank " << comm.rank();
+        }
+      }
+    }
+  });
+}
+
+TEST(DistributedTokenizer, MemorySavingIsRealPerRank) {
+  // The §3.1 motivation: each rank holds 1/P of the per-channel weights.
+  ModelConfig cfg = ModelConfig::tiny();
+  World world(4);
+  world.run([&](Communicator& comm) {
+    Rng rng(102);
+    DistributedTokenizer dist(cfg, 8, comm, rng);
+    Rng rng2(102);
+    model::PatchTokenizer full(cfg, 8, rng2);
+    // Per-channel weights shrink 4x; the shared positional embedding stays.
+    ASSERT_LT(dist.num_parameters(),
+              full.num_parameters() / 2);
+    ASSERT_EQ(dist.local_channels(), 2);
+  });
+}
+
+}  // namespace
+}  // namespace dchag::parallel

@@ -1,0 +1,176 @@
+// Tensor parallelism must be a pure re-partitioning of the serial model:
+// same seeds => identical forward values and identical gradients (each
+// rank holding its shard's slice of the serial gradient).
+#include <gtest/gtest.h>
+
+#include "model/vit.hpp"
+#include "parallel/tp_layers.hpp"
+
+namespace dchag::parallel {
+namespace {
+
+namespace ops = tensor::ops;
+using comm::World;
+using model::ModelConfig;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+constexpr float kTol = 1e-4f;
+
+class TpWorldSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(TpWorldSweep, ColumnParallelMatchesSerialLinear) {
+  const int P = GetParam();
+  Rng data_rng(7);
+  Tensor x = data_rng.normal_tensor(Shape{3, 8});
+  // Serial reference.
+  Rng serial_rng(42);
+  Tensor w_full = serial_rng.xavier(Shape{8, 8});
+  Tensor y_ref = ops::matmul(x, w_full);
+
+  World world(P);
+  world.run([&](Communicator& comm) {
+    Rng rng(42);
+    ColumnParallelLinear col(rng.xavier(Shape{8, 8}), comm, "col");
+    Variable y = col.forward(Variable::input(x));
+    const tensor::Index shard = 8 / P;
+    Tensor expected = ops::slice(y_ref, 1, comm.rank() * shard, shard);
+    ASSERT_LT(ops::max_abs_diff(y.value(), expected), kTol);
+  });
+}
+
+TEST_P(TpWorldSweep, RowParallelMatchesSerialLinear) {
+  const int P = GetParam();
+  Rng data_rng(8);
+  Tensor x = data_rng.normal_tensor(Shape{3, 8});
+  Rng serial_rng(43);
+  Tensor w_full = serial_rng.xavier(Shape{8, 4});
+  Tensor y_ref = ops::matmul(x, w_full);
+
+  World world(P);
+  world.run([&](Communicator& comm) {
+    Rng rng(43);
+    RowParallelLinear row(rng.xavier(Shape{8, 4}), comm, "row");
+    const tensor::Index shard = 8 / P;
+    Tensor x_local = ops::slice(x, 1, comm.rank() * shard, shard);
+    Variable y = row.forward(Variable::input(x_local));
+    ASSERT_LT(ops::max_abs_diff(y.value(), y_ref), kTol);
+  });
+}
+
+TEST_P(TpWorldSweep, AttentionForwardMatchesSerial) {
+  const int P = GetParam();
+  ModelConfig cfg = ModelConfig::tiny();  // D=32, 4 heads
+  Rng data_rng(9);
+  Tensor x = data_rng.normal_tensor(Shape{2, 5, cfg.embed_dim});
+
+  Rng serial_rng(44);
+  model::MultiHeadSelfAttention serial(cfg.embed_dim, cfg.num_heads,
+                                       serial_rng, "attn");
+  Tensor y_ref = serial.forward(Variable::input(x)).value();
+
+  World world(P);
+  world.run([&](Communicator& comm) {
+    Rng rng(44);
+    ParallelSelfAttention attn(cfg.embed_dim, cfg.num_heads, comm, rng,
+                               "attn");
+    Variable y = attn.forward(Variable::input(x));
+    ASSERT_LT(ops::max_abs_diff(y.value(), y_ref), kTol);
+  });
+}
+
+TEST_P(TpWorldSweep, EncoderForwardMatchesSerial) {
+  const int P = GetParam();
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng data_rng(10);
+  Tensor x = data_rng.normal_tensor(Shape{2, 4, cfg.embed_dim});
+
+  Rng serial_rng(45);
+  model::ViTEncoder serial(cfg, serial_rng);
+  Tensor y_ref = serial.forward(Variable::input(x)).value();
+
+  World world(P);
+  world.run([&](Communicator& comm) {
+    Rng rng(45);
+    ParallelViTEncoder enc(cfg, comm, rng);
+    Variable y = enc.forward(Variable::input(x));
+    ASSERT_LT(ops::max_abs_diff(y.value(), y_ref), 5e-4f);
+  });
+}
+
+TEST_P(TpWorldSweep, EncoderInputGradientMatchesSerial) {
+  const int P = GetParam();
+  ModelConfig cfg = ModelConfig::tiny();
+  cfg.num_layers = 1;
+  Rng data_rng(11);
+  Tensor x = data_rng.normal_tensor(Shape{1, 3, cfg.embed_dim});
+
+  Rng serial_rng(46);
+  model::ViTEncoder serial(cfg, serial_rng);
+  Variable xs = Variable::param(x.clone());
+  autograd::sum_all(autograd::mul(serial.forward(xs), serial.forward(xs)))
+      .backward();
+  Tensor grad_ref = xs.grad();
+
+  World world(P);
+  world.run([&](Communicator& comm) {
+    Rng rng(46);
+    ParallelViTEncoder enc(cfg, comm, rng);
+    Variable xp = Variable::param(x.clone());
+    autograd::sum_all(autograd::mul(enc.forward(xp), enc.forward(xp)))
+        .backward();
+    ASSERT_LT(ops::max_abs_diff(xp.grad(), grad_ref), 5e-4f)
+        << "rank " << comm.rank();
+  });
+}
+
+TEST_P(TpWorldSweep, WeightShardGradientsMatchSerialSlices) {
+  const int P = GetParam();
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng data_rng(12);
+  Tensor x = data_rng.normal_tensor(Shape{2, 3, cfg.embed_dim});
+
+  // Serial reference gradients.
+  Rng serial_rng(47);
+  model::MultiHeadSelfAttention serial(cfg.embed_dim, cfg.num_heads,
+                                       serial_rng, "attn");
+  autograd::sum_all(serial.forward(Variable::input(x))).backward();
+  auto serial_params = serial.parameters();  // wq.w, wq.b, wk.w, ... wo.w, wo.b
+  Tensor wq_grad = serial_params[0].grad();
+  Tensor wo_grad = serial_params[6].grad();
+
+  World world(P);
+  world.run([&](Communicator& comm) {
+    Rng rng(47);
+    ParallelSelfAttention attn(cfg.embed_dim, cfg.num_heads, comm, rng,
+                               "attn");
+    autograd::sum_all(attn.forward(Variable::input(x))).backward();
+    auto params = attn.parameters();
+    // Registration order: wq.weight, wq.bias, wk.*, wv.*, wo.weight, wo.bias.
+    const tensor::Index col_shard = cfg.embed_dim / P;
+    Tensor wq_expected =
+        ops::slice(wq_grad, 1, comm.rank() * col_shard, col_shard);
+    ASSERT_LT(ops::max_abs_diff(params[0].grad(), wq_expected), kTol);
+    Tensor wo_expected =
+        ops::slice(wo_grad, 0, comm.rank() * col_shard, col_shard);
+    ASSERT_LT(ops::max_abs_diff(params[6].grad(), wo_expected), kTol);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(WorldSizes, TpWorldSweep, ::testing::Values(1, 2, 4),
+                         [](const ::testing::TestParamInfo<int>& info) {
+                           return "P" + std::to_string(info.param);
+                         });
+
+TEST(TpLayers, RejectsIndivisibleShards) {
+  World world(3);
+  EXPECT_THROW(world.run([](Communicator& comm) {
+    Rng rng(1);
+    ColumnParallelLinear col(8, 8, comm, rng, "col");  // 8 % 3 != 0
+  }),
+               Error);
+}
+
+}  // namespace
+}  // namespace dchag::parallel

@@ -1,0 +1,103 @@
+// Graph-shape stress tests for the autograd engine: diamonds, deep
+// chains, shared subexpressions, repeated backward calls.
+#include <gtest/gtest.h>
+
+#include "tensor/autograd.hpp"
+#include "tensor/rng.hpp"
+
+namespace dchag::autograd {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(AutogradGraph, DiamondAccumulatesBothPaths) {
+  // y = a*x;  z = b*x;  loss = sum(y + z) => dx = a + b.
+  Variable x = Variable::param(Tensor(Shape{3}, 1.0f));
+  Variable y = scale(x, 2.0f);
+  Variable z = scale(x, 5.0f);
+  sum_all(add(y, z)).backward();
+  for (float g : x.grad().span()) EXPECT_EQ(g, 7.0f);
+}
+
+TEST(AutogradGraph, SharedSubexpressionEvaluatedOnce) {
+  // s = x*x used twice: loss = sum(s) + sum(s) => dx = 4x.
+  Variable x = Variable::param(Tensor(Shape{4}, 3.0f));
+  Variable s = mul(x, x);
+  add(sum_all(s), sum_all(s)).backward();
+  for (float g : x.grad().span()) EXPECT_EQ(g, 12.0f);
+}
+
+TEST(AutogradGraph, DeepChainGradientExact) {
+  // 64 successive halvings: d/dx of sum(x / 2^64) = 2^-64.
+  Variable x = Variable::param(Tensor(Shape{2}, 1.0f));
+  Variable h = x;
+  for (int i = 0; i < 64; ++i) h = scale(h, 0.5f);
+  sum_all(h).backward();
+  const float expected = std::pow(0.5f, 64.0f);
+  for (float g : x.grad().span()) EXPECT_FLOAT_EQ(g, expected);
+}
+
+TEST(AutogradGraph, WideFanOutConcat) {
+  // x sliced into 8 pieces, each scaled differently, re-concatenated.
+  Variable x = Variable::param(Tensor(Shape{8, 2}, 1.0f));
+  std::vector<Variable> parts;
+  for (int i = 0; i < 8; ++i)
+    parts.push_back(scale(slice(x, 0, i, 1), static_cast<float>(i)));
+  sum_all(concat(parts, 0)).backward();
+  for (tensor::Index r = 0; r < 8; ++r) {
+    EXPECT_EQ(x.grad().at({r, 0}), static_cast<float>(r));
+  }
+}
+
+TEST(AutogradGraph, SecondBackwardAccumulatesIntoGrad) {
+  // Calling backward twice (without zero_grad) doubles the gradient —
+  // the accumulate contract optimizers rely on for grad accumulation.
+  Variable x = Variable::param(Tensor(Shape{2}, 1.0f));
+  Variable loss1 = sum_all(scale(x, 3.0f));
+  loss1.backward();
+  Variable loss2 = sum_all(scale(x, 3.0f));
+  loss2.backward();
+  for (float g : x.grad().span()) EXPECT_EQ(g, 6.0f);
+}
+
+TEST(AutogradGraph, MixedRequiresGradSubgraphs) {
+  Rng rng(1);
+  Variable frozen = Variable::input(rng.normal_tensor(Shape{3, 3}));
+  Variable live = Variable::param(rng.normal_tensor(Shape{3, 3}));
+  Variable out = matmul(frozen, matmul(live, frozen));
+  sum_all(out).backward();
+  EXPECT_TRUE(live.has_grad());
+  EXPECT_FALSE(frozen.has_grad());
+}
+
+TEST(AutogradGraph, GraphFreedAfterVariablesDropped) {
+  // Nodes are shared_ptr-owned by their consumers; dropping the loss
+  // releases the tape (no leak tooling here, but use_count must drop).
+  Variable x = Variable::param(Tensor(Shape{2}, 1.0f));
+  std::weak_ptr<Node> probe;
+  {
+    Variable y = scale(x, 2.0f);
+    probe = y.node();
+    Variable loss = sum_all(y);
+    EXPECT_FALSE(probe.expired());
+  }
+  EXPECT_TRUE(probe.expired());
+}
+
+TEST(AutogradGraph, LongAlternatingOpChainGradcheckFree) {
+  // Analytic gradient through a 20-op alternating chain has a closed
+  // form: d/dx sum(((x*2)+1)*2+1...) with 10 rounds => 2^10 per element.
+  Variable x = Variable::param(Tensor(Shape{3}, 0.1f));
+  Variable h = x;
+  for (int i = 0; i < 10; ++i) {
+    h = scale(h, 2.0f);
+    h = add(h, Variable::input(Tensor(Shape{3}, 1.0f)));
+  }
+  sum_all(h).backward();
+  for (float g : x.grad().span()) EXPECT_FLOAT_EQ(g, 1024.0f);
+}
+
+}  // namespace
+}  // namespace dchag::autograd

@@ -1,0 +1,58 @@
+#include "tensor/shape.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dchag::tensor {
+namespace {
+
+TEST(Shape, RankAndNumel) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.rank(), 3);
+  EXPECT_EQ(s.numel(), 24);
+  EXPECT_EQ(Shape{}.rank(), 0);
+  EXPECT_EQ(Shape{}.numel(), 1);  // empty product
+}
+
+TEST(Shape, NegativeIndexing) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.dim(-1), 4);
+  EXPECT_EQ(s.dim(-3), 2);
+  EXPECT_EQ(s.dim(0), 2);
+}
+
+TEST(Shape, OutOfRangeThrows) {
+  Shape s{2, 3};
+  EXPECT_THROW(s.dim(2), Error);
+  EXPECT_THROW(s.dim(-3), Error);
+}
+
+TEST(Shape, RowMajorStrides) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.stride(0), 12);
+  EXPECT_EQ(s.stride(1), 4);
+  EXPECT_EQ(s.stride(2), 1);
+}
+
+TEST(Shape, WithAndWithoutDim) {
+  Shape s{2, 3, 4};
+  EXPECT_EQ(s.with_dim(1, 7), (Shape{2, 7, 4}));
+  EXPECT_EQ(s.with_dim(-1, 9), (Shape{2, 3, 9}));
+  EXPECT_EQ(s.without_dim(0), (Shape{3, 4}));
+  EXPECT_EQ(s.without_dim(-1), (Shape{2, 3}));
+}
+
+TEST(Shape, Equality) {
+  EXPECT_EQ((Shape{1, 2}), (Shape{1, 2}));
+  EXPECT_NE((Shape{1, 2}), (Shape{2, 1}));
+  EXPECT_NE((Shape{1, 2}), (Shape{1, 2, 1}));
+}
+
+TEST(Shape, ZeroDimAllowedNegativeRejected) {
+  EXPECT_EQ((Shape{0, 3}).numel(), 0);
+  EXPECT_THROW(Shape({-1, 3}), Error);
+}
+
+TEST(Shape, ToString) { EXPECT_EQ((Shape{2, 3}).to_string(), "[2, 3]"); }
+
+}  // namespace
+}  // namespace dchag::tensor

@@ -1,0 +1,115 @@
+#include "tensor/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "tensor/rng.hpp"
+
+namespace dchag::tensor {
+namespace {
+
+TEST(Tensor, ZeroInitialised) {
+  Tensor t(Shape{2, 3});
+  for (float x : t.span()) EXPECT_EQ(x, 0.0f);
+}
+
+TEST(Tensor, FillConstructor) {
+  Tensor t(Shape{4}, 2.5f);
+  for (float x : t.span()) EXPECT_EQ(x, 2.5f);
+}
+
+TEST(Tensor, FromDataRoundTrip) {
+  Tensor t = Tensor::from_data(Shape{2, 2}, {1, 2, 3, 4});
+  EXPECT_EQ(t.at({0, 0}), 1.0f);
+  EXPECT_EQ(t.at({0, 1}), 2.0f);
+  EXPECT_EQ(t.at({1, 0}), 3.0f);
+  EXPECT_EQ(t.at({1, 1}), 4.0f);
+}
+
+TEST(Tensor, FromDataSizeMismatchThrows) {
+  EXPECT_THROW(Tensor::from_data(Shape{2, 2}, {1, 2, 3}), Error);
+}
+
+TEST(Tensor, CopyAliasesStorage) {
+  Tensor a(Shape{3}, 1.0f);
+  Tensor b = a;
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 9.0f);
+  EXPECT_TRUE(a.same_storage(b));
+}
+
+TEST(Tensor, CloneIsDeep) {
+  Tensor a(Shape{3}, 1.0f);
+  Tensor b = a.clone();
+  b.data()[0] = 9.0f;
+  EXPECT_EQ(a.data()[0], 1.0f);
+  EXPECT_FALSE(a.same_storage(b));
+}
+
+TEST(Tensor, ReshapeSharesStorage) {
+  Tensor a = Tensor::from_data(Shape{2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = a.reshape(Shape{3, 2});
+  EXPECT_TRUE(a.same_storage(b));
+  EXPECT_EQ(b.at({2, 1}), 6.0f);
+  EXPECT_THROW(a.reshape(Shape{4}), Error);
+}
+
+TEST(Tensor, Slice0IsView) {
+  Tensor a = Tensor::from_data(Shape{3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor row = a.slice0(1, 1);
+  EXPECT_EQ(row.shape(), (Shape{1, 2}));
+  EXPECT_EQ(row.at({0, 0}), 3.0f);
+  row.data()[0] = 99.0f;
+  EXPECT_EQ(a.at({1, 0}), 99.0f);  // view into same storage
+  EXPECT_THROW(a.slice0(2, 2), Error);
+}
+
+TEST(Tensor, ScalarItem) {
+  EXPECT_EQ(Tensor::scalar(3.5f).item(), 3.5f);
+  Tensor t(Shape{2});
+  EXPECT_THROW((void)t.item(), Error);
+}
+
+TEST(Tensor, AtBoundsChecked) {
+  Tensor t(Shape{2, 2});
+  EXPECT_THROW((void)t.at({2, 0}), Error);
+  EXPECT_THROW((void)t.at({0}), Error);
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(a.normal(), b.normal());
+}
+
+TEST(Rng, ForkIndependent) {
+  Rng a(42);
+  Rng child1 = a.fork(1);
+  Rng child2 = a.fork(2);
+  EXPECT_NE(child1.normal(), child2.normal());
+}
+
+TEST(Rng, XavierBounds) {
+  Rng r(7);
+  Tensor w = r.xavier(Shape{64, 64});
+  const float bound = std::sqrt(6.0f / 128.0f);
+  for (float x : w.span()) {
+    EXPECT_GE(x, -bound);
+    EXPECT_LE(x, bound);
+  }
+}
+
+TEST(Rng, NormalMoments) {
+  Rng r(3);
+  Tensor t = r.normal_tensor(Shape{10000}, 1.0f, 2.0f);
+  double mean = 0.0;
+  for (float x : t.span()) mean += x;
+  mean /= 10000.0;
+  double var = 0.0;
+  for (float x : t.span()) var += (x - mean) * (x - mean);
+  var /= 10000.0;
+  EXPECT_NEAR(mean, 1.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.3);
+}
+
+}  // namespace
+}  // namespace dchag::tensor

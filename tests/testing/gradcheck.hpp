@@ -1,0 +1,59 @@
+// Finite-difference gradient checking for autograd ops.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include "tensor/autograd.hpp"
+
+namespace dchag::testing {
+
+using autograd::Variable;
+using tensor::Index;
+using tensor::Tensor;
+
+/// Compares analytic gradients against central finite differences.
+///
+/// `fn` maps the leaf variables to a scalar Variable. Every leaf requiring
+/// grad is perturbed element-wise; returns the max relative error observed.
+/// Uses a fresh graph per evaluation, so fn must be pure.
+inline float gradcheck(
+    const std::function<Variable(const std::vector<Variable>&)>& fn,
+    std::vector<Variable> leaves, float eps = 5e-3f) {
+  // Analytic pass.
+  Variable loss = fn(leaves);
+  loss.backward();
+
+  const auto eval = [&]() {
+    std::vector<Variable> fresh;
+    fresh.reserve(leaves.size());
+    for (const Variable& l : leaves)
+      fresh.push_back(Variable::input(l.value()));
+    return fn(fresh).value().item();
+  };
+
+  float max_rel_err = 0.0f;
+  for (Variable& leaf : leaves) {
+    if (!leaf.requires_grad()) continue;
+    Tensor& v = leaf.mutable_value();
+    const Tensor& g = leaf.grad();
+    for (Index i = 0; i < v.numel(); ++i) {
+      const float orig = v.data()[i];
+      v.data()[i] = orig + eps;
+      const float up = eval();
+      v.data()[i] = orig - eps;
+      const float down = eval();
+      v.data()[i] = orig;
+      const float numeric = (up - down) / (2.0f * eps);
+      const float analytic = g.defined() ? g.data()[i] : 0.0f;
+      const float denom =
+          std::max({std::abs(numeric), std::abs(analytic), 1e-2f});
+      max_rel_err =
+          std::max(max_rel_err, std::abs(numeric - analytic) / denom);
+    }
+  }
+  return max_rel_err;
+}
+
+}  // namespace dchag::testing

@@ -1,0 +1,151 @@
+#include "train/checkpoint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "model/foundation.hpp"
+
+namespace dchag::train {
+namespace {
+
+namespace ops = tensor::ops;
+using autograd::Variable;
+using tensor::Rng;
+using tensor::Shape;
+using tensor::Tensor;
+
+std::string tmp_path(const char* name) {
+  return ::testing::TempDir() + name;
+}
+
+TEST(Checkpoint, RoundTripPreservesValues) {
+  Rng rng(1);
+  autograd::Linear lin(4, 3, rng, "lin");
+  const std::string path = tmp_path("ckpt_roundtrip.bin");
+  auto params = lin.parameters();
+  save_parameters(path, params);
+
+  Rng rng2(2);  // different init
+  autograd::Linear lin2(4, 3, rng2, "lin");
+  auto params2 = lin2.parameters();
+  EXPECT_GT(ops::max_abs_diff(params[0].value(), params2[0].value()), 1e-4f);
+  load_parameters(path, params2);
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    EXPECT_LT(ops::max_abs_diff(params[i].value(), params2[i].value()),
+              1e-9f);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FullModelRoundTrip) {
+  model::ModelConfig cfg = model::ModelConfig::tiny();
+  Rng rng(3);
+  auto fe = model::make_baseline_frontend(cfg, 3, rng);
+  model::MaeModel mae(cfg, std::move(fe), 3, rng);
+  const std::string path = tmp_path("ckpt_mae.bin");
+  auto params = mae.parameters();
+  save_parameters(path, params);
+
+  Rng rng2(4);
+  auto fe2 = model::make_baseline_frontend(cfg, 3, rng2);
+  model::MaeModel mae2(cfg, std::move(fe2), 3, rng2);
+  auto params2 = mae2.parameters();
+  load_parameters(path, params2);
+
+  // Restored model computes identical outputs.
+  Tensor img = Rng(5).normal_tensor(Shape{1, 3, 16, 16});
+  Rng mask_rng(6);
+  Tensor mask = model::MaeModel::make_mask(1, cfg.seq_len(), 0.5f, mask_rng);
+  const float a = mae.forward(img, img, mask).loss.value().item();
+  const float b = mae2.forward(img, img, mask).loss.value().item();
+  EXPECT_FLOAT_EQ(a, b);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ListEntries) {
+  Rng rng(7);
+  autograd::Linear lin(2, 5, rng, "layer");
+  const std::string path = tmp_path("ckpt_list.bin");
+  auto params = lin.parameters();
+  save_parameters(path, params);
+  auto entries = list_checkpoint(path);
+  ASSERT_EQ(entries.size(), 2u);
+  bool found_weight = false;
+  for (const auto& e : entries) {
+    if (e.name == "layer.weight") {
+      found_weight = true;
+      EXPECT_EQ(e.shape, (Shape{2, 5}));
+    }
+  }
+  EXPECT_TRUE(found_weight);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, SubmoduleLoadFromFullCheckpoint) {
+  // Extra entries in the file are fine — load just the encoder from a
+  // full-model checkpoint.
+  model::ModelConfig cfg = model::ModelConfig::tiny();
+  Rng rng(8);
+  model::ViTEncoder enc(cfg, rng);
+  autograd::Linear head(cfg.embed_dim, 4, rng, "head");
+  std::vector<Variable> all = enc.parameters();
+  for (const auto& p : head.parameters()) all.push_back(p);
+  const std::string path = tmp_path("ckpt_full.bin");
+  save_parameters(path, all);
+
+  Rng rng2(9);
+  model::ViTEncoder enc2(cfg, rng2);
+  auto enc_params = enc2.parameters();
+  load_parameters(path, enc_params);
+  EXPECT_LT(ops::max_abs_diff(enc_params[0].value(),
+                              enc.parameters()[0].value()),
+            1e-9f);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingParameterThrows) {
+  Rng rng(10);
+  autograd::Linear lin(2, 2, rng, "a");
+  const std::string path = tmp_path("ckpt_missing.bin");
+  auto params = lin.parameters();
+  save_parameters(path, params);
+
+  autograd::Linear other(2, 2, rng, "b");
+  auto other_params = other.parameters();
+  EXPECT_THROW(load_parameters(path, other_params), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, ShapeMismatchThrows) {
+  Rng rng(11);
+  autograd::Linear lin(2, 2, rng, "l");
+  const std::string path = tmp_path("ckpt_shape.bin");
+  auto params = lin.parameters();
+  save_parameters(path, params);
+
+  autograd::Linear bigger(2, 4, rng, "l");
+  auto big_params = bigger.parameters();
+  EXPECT_THROW(load_parameters(path, big_params), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, GarbageFileRejected) {
+  const std::string path = tmp_path("ckpt_garbage.bin");
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "not a checkpoint at all";
+  }
+  EXPECT_THROW(list_checkpoint(path), Error);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, UnnamedParameterRejected) {
+  Variable anon = Variable::param(Tensor(Shape{2}, 1.0f));  // no name
+  std::vector<Variable> params{anon};
+  EXPECT_THROW(save_parameters(tmp_path("ckpt_anon.bin"), params), Error);
+}
+
+}  // namespace
+}  // namespace dchag::train

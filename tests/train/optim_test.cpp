@@ -1,0 +1,89 @@
+#include "train/optim.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tensor/rng.hpp"
+
+namespace dchag::train {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  Variable p = Variable::param(Tensor(Shape{3}, 1.0f));
+  autograd::sum_all(autograd::mul(p, p)).backward();  // grad = 2
+  Sgd opt({p}, 0.1f);
+  opt.step();
+  for (float v : p.value().span()) EXPECT_NEAR(v, 0.8f, 1e-6f);
+  opt.zero_grad();
+  EXPECT_FALSE(p.has_grad());
+}
+
+TEST(Sgd, SkipsParamsWithoutGrad) {
+  Variable p = Variable::param(Tensor(Shape{2}, 1.0f));
+  Sgd opt({p}, 0.1f);
+  opt.step();  // no grad yet: no-op, no crash
+  EXPECT_EQ(p.value().at({0}), 1.0f);
+}
+
+TEST(AdamUpdate, FirstStepMatchesClosedForm) {
+  // With m=v=0 and t=1: m_hat = g, v_hat = g^2, update = lr * g/(|g|+eps).
+  Tensor value(Shape{2}, 1.0f);
+  Tensor grad = Tensor::from_data(Shape{2}, {0.5f, -2.0f});
+  Tensor m(Shape{2});
+  Tensor v(Shape{2});
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  adamw_update(value, grad, m, v, /*t=*/1, cfg);
+  EXPECT_NEAR(value.at({0}), 1.0f - 0.1f, 1e-5f);  // sign(g)=+1
+  EXPECT_NEAR(value.at({1}), 1.0f + 0.1f, 1e-5f);  // sign(g)=-1
+}
+
+TEST(AdamUpdate, WeightDecayShrinksParams) {
+  Tensor value(Shape{1}, 1.0f);
+  Tensor grad(Shape{1}, 0.0f);
+  Tensor m(Shape{1});
+  Tensor v(Shape{1});
+  AdamConfig cfg;
+  cfg.lr = 0.1f;
+  cfg.weight_decay = 0.5f;
+  adamw_update(value, grad, m, v, 1, cfg);
+  EXPECT_NEAR(value.at({0}), 1.0f - 0.1f * 0.5f, 1e-6f);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  // minimise (p - 3)^2
+  Variable p = Variable::param(Tensor(Shape{1}, 0.0f));
+  Adam opt({p}, {.lr = 0.1f});
+  for (int i = 0; i < 300; ++i) {
+    opt.zero_grad();
+    Variable diff = autograd::add(p, Variable::input(Tensor::scalar(-3.0f)));
+    autograd::sum_all(autograd::mul(diff, diff)).backward();
+    opt.step();
+  }
+  EXPECT_NEAR(p.value().item(), 3.0f, 0.05f);
+}
+
+TEST(Adam, DeterministicAcrossInstances) {
+  Rng rng(1);
+  Tensor init = rng.normal_tensor(Shape{4});
+  auto run = [&](int steps) {
+    Variable p = Variable::param(init.clone());
+    Adam opt({p}, {});
+    for (int i = 0; i < steps; ++i) {
+      opt.zero_grad();
+      autograd::sum_all(autograd::mul(p, p)).backward();
+      opt.step();
+    }
+    return p.value().clone();
+  };
+  Tensor a = run(10);
+  Tensor b = run(10);
+  EXPECT_LT(tensor::ops::max_abs_diff(a, b), 1e-9f);
+}
+
+}  // namespace
+}  // namespace dchag::train

@@ -1,0 +1,85 @@
+#include "train/schedule.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dchag::train {
+namespace {
+
+using autograd::Variable;
+using tensor::Shape;
+using tensor::Tensor;
+
+TEST(WarmupCosine, LinearWarmup) {
+  WarmupCosineSchedule sched(1.0f, 10, 100);
+  EXPECT_NEAR(sched.lr(0), 0.1f, 1e-6f);
+  EXPECT_NEAR(sched.lr(4), 0.5f, 1e-6f);
+  EXPECT_NEAR(sched.lr(9), 1.0f, 1e-6f);
+}
+
+TEST(WarmupCosine, CosineDecayToMin) {
+  WarmupCosineSchedule sched(1.0f, 10, 110, 0.1f);
+  EXPECT_NEAR(sched.lr(10), 1.0f, 1e-5f);           // decay start
+  EXPECT_NEAR(sched.lr(60), 0.55f, 1e-5f);          // halfway: (1+0.1)/2
+  EXPECT_NEAR(sched.lr(109), 0.1f, 1e-2f);          // near the end
+  EXPECT_NEAR(sched.lr(500), 0.1f, 1e-6f);          // held at min
+}
+
+TEST(WarmupCosine, MonotoneDecreasingAfterWarmup) {
+  WarmupCosineSchedule sched(3e-4f, 5, 50);
+  float prev = sched.lr(5);
+  for (std::int64_t s = 6; s < 50; ++s) {
+    const float lr = sched.lr(s);
+    EXPECT_LE(lr, prev + 1e-9f) << "step " << s;
+    prev = lr;
+  }
+}
+
+TEST(WarmupCosine, RejectsBadConfig) {
+  EXPECT_THROW(WarmupCosineSchedule(1.0f, 10, 10), Error);
+  EXPECT_THROW(WarmupCosineSchedule(-1.0f, 0, 10), Error);
+  EXPECT_THROW(WarmupCosineSchedule(1.0f, 0, 10, 2.0f), Error);
+}
+
+TEST(ClipGradNorm, NoOpBelowThreshold) {
+  Variable p = Variable::param(Tensor(Shape{4}, 1.0f), "p");
+  autograd::sum_all(p).backward();  // grad = 1 each, norm = 2
+  std::vector<Variable> params{p};
+  const float norm = clip_grad_norm(params, 10.0f);
+  EXPECT_NEAR(norm, 2.0f, 1e-5f);
+  for (float g : p.grad().span()) EXPECT_NEAR(g, 1.0f, 1e-6f);
+}
+
+TEST(ClipGradNorm, ScalesDownAboveThreshold) {
+  Variable p = Variable::param(Tensor(Shape{4}, 1.0f), "p");
+  autograd::scale(autograd::sum_all(p), 10.0f).backward();  // grad 10, norm 20
+  std::vector<Variable> params{p};
+  const float norm = clip_grad_norm(params, 2.0f);
+  EXPECT_NEAR(norm, 20.0f, 1e-3f);
+  // post-clip norm == max_norm
+  double sq = 0;
+  for (float g : p.grad().span()) sq += static_cast<double>(g) * g;
+  EXPECT_NEAR(std::sqrt(sq), 2.0, 1e-4);
+}
+
+TEST(ClipGradNorm, GlobalAcrossParams) {
+  Variable a = Variable::param(Tensor(Shape{1}, 1.0f), "a");
+  Variable b = Variable::param(Tensor(Shape{1}, 1.0f), "b");
+  autograd::add(autograd::scale(autograd::sum_all(a), 3.0f),
+                autograd::scale(autograd::sum_all(b), 4.0f))
+      .backward();  // grads 3 and 4 -> global norm 5
+  std::vector<Variable> params{a, b};
+  const float norm = clip_grad_norm(params, 1.0f);
+  EXPECT_NEAR(norm, 5.0f, 1e-5f);
+  EXPECT_NEAR(a.grad().at({0}), 0.6f, 1e-5f);
+  EXPECT_NEAR(b.grad().at({0}), 0.8f, 1e-5f);
+}
+
+TEST(ClipGradNorm, SkipsParamsWithoutGrads) {
+  Variable a = Variable::param(Tensor(Shape{2}, 1.0f), "a");
+  std::vector<Variable> params{a};
+  EXPECT_EQ(clip_grad_norm(params, 1.0f), 0.0f);
+  EXPECT_THROW(clip_grad_norm(params, 0.0f), Error);
+}
+
+}  // namespace
+}  // namespace dchag::train
