@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Tier-1 verify: configure, build everything (tests + examples + benches),
+# and run ctest. With --format, also check clang-format compliance first.
+#
+# Usage:  scripts/check.sh [--format] [build-dir]
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+check_format=0
+build_dir="build"
+for arg in "$@"; do
+  case "$arg" in
+    --format) check_format=1 ;;
+    -h|--help) echo "usage: scripts/check.sh [--format] [build-dir]"; exit 0 ;;
+    *) build_dir="$arg" ;;
+  esac
+done
+
+cd "$repo_root"
+
+if [[ "$check_format" == 1 ]]; then
+  if command -v clang-format >/dev/null 2>&1; then
+    echo "== clang-format check"
+    mapfile -t sources < <(git ls-files '*.cpp' '*.hpp')
+    clang-format --dry-run --Werror "${sources[@]}"
+  else
+    echo "== clang-format not found; skipping format check" >&2
+  fi
+fi
+
+echo "== configure"
+cmake -B "$build_dir" -S . -DDCHAG_BUILD_BENCH=ON
+echo "== build"
+cmake --build "$build_dir" -j "$(nproc)"
+echo "== ctest"
+ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+echo "== OK"

@@ -1,4 +1,8 @@
 // Shared vocabulary types for the SPMD communication runtime.
+//
+// Reduction ops, collective algorithm selectors (ring vs recursive
+// doubling), and the per-communicator call statistics the tests use to
+// assert how much communication a strategy actually performed.
 #pragma once
 
 #include <array>

@@ -1,4 +1,8 @@
 // Workload and parallel-layout descriptors for the analytic model.
+//
+// Declares the (TP, FSDP, DP) ParallelLayout, the D-CHAG front-end spec,
+// and the training-workload description that the FLOP/memory/comm models
+// in this directory all consume.
 #pragma once
 
 #include "model/aggregation.hpp"

@@ -1,4 +1,8 @@
 // Dense row-major shape descriptor.
+//
+// Shape is an ordered list of non-negative extents with numpy-style
+// negative indexing, row-major stride computation, and with_dim /
+// without_dim helpers used throughout the reshape-heavy model code.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,44 @@
+// minigtest runner: executes every registered test and prints a
+// gtest-flavored summary. Linked instead of gtest_main when GoogleTest is
+// unavailable (see tests/CMakeLists.txt).
+#include "gtest/gtest.h"
+
+#include <exception>
+#include <memory>
+
+int RUN_ALL_TESTS() {
+  using ::testing::internal::current_test_failed;
+  using ::testing::internal::registry;
+
+  int failed = 0;
+  const auto& tests = registry();
+  std::printf("[==========] Running %zu tests (minigtest).\n", tests.size());
+  for (const auto& test : tests) {
+    std::printf("[ RUN      ] %s\n", test.full_name.c_str());
+    current_test_failed() = false;
+    test.prepare();
+    try {
+      std::unique_ptr<::testing::Test> instance(test.factory());
+      instance->TestBody();
+    } catch (const ::testing::internal::FatalFailure&) {
+      // Failure already reported by the ASSERT_* macro.
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "Uncaught exception: %s\n", e.what());
+      current_test_failed() = true;
+    } catch (...) {
+      std::fprintf(stderr, "Uncaught non-std exception\n");
+      current_test_failed() = true;
+    }
+    if (current_test_failed()) {
+      ++failed;
+      std::printf("[  FAILED  ] %s\n", test.full_name.c_str());
+    } else {
+      std::printf("[       OK ] %s\n", test.full_name.c_str());
+    }
+  }
+  std::printf("[==========] %zu tests ran, %d failed.\n", tests.size(),
+              failed);
+  return failed == 0 ? 0 : 1;
+}
+
+int main() { return RUN_ALL_TESTS(); }

@@ -1,0 +1,357 @@
+// minigtest: a header-only stand-in for the subset of GoogleTest this repo
+// uses, so the test suite builds on machines without GTest installed.
+//
+// Supported surface: TEST / TEST_P, TestWithParam<T> + GetParam(),
+// INSTANTIATE_TEST_SUITE_P with ::testing::Values and a name generator,
+// EXPECT_/ASSERT_ {EQ,NE,LT,LE,GT,GE,TRUE,FALSE,NEAR,THROW,FLOAT_EQ,
+// DOUBLE_EQ,STREQ} with `<< message` streaming, and ::testing::TempDir().
+// ASSERT_* aborts the current test by throwing internal::FatalFailure.
+//
+// The real GoogleTest is preferred when available; CMake selects this
+// harness only when GTest is missing or -DDCHAG_FORCE_MINIGTEST=ON.
+#pragma once
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void TestBody() = 0;
+};
+
+/// Per-parameter metadata handed to INSTANTIATE_TEST_SUITE_P name
+/// generators.
+template <typename T>
+struct TestParamInfo {
+  T param;
+  std::size_t index = 0;
+};
+
+/// Directory for test scratch files, with a trailing separator.
+inline std::string TempDir() { return "/tmp/"; }
+
+namespace internal {
+
+/// Thrown by ASSERT_* to abandon the current test body.
+struct FatalFailure {};
+
+struct RegisteredTest {
+  std::string full_name;                // "Suite.Name" as printed.
+  std::function<Test*()> factory;
+  std::function<void()> prepare;        // Sets the current param, if any.
+};
+
+inline std::vector<RegisteredTest>& registry() {
+  static std::vector<RegisteredTest> tests;
+  return tests;
+}
+
+inline bool& current_test_failed() {
+  static bool failed = false;
+  return failed;
+}
+
+/// Best-effort value printer: operator<<, then member to_string(), then a
+/// placeholder. Keeps failure output useful without requiring printers.
+template <typename T>
+void PrintValue(std::ostream& os, const T& v) {
+  if constexpr (requires { os << v; }) {
+    os << v;
+  } else if constexpr (requires { v.to_string(); }) {
+    os << v.to_string();
+  } else {
+    os << "<unprintable>";
+  }
+}
+
+/// Accumulates the streamed failure message; reports on destruction. The
+/// destructor throws FatalFailure for ASSERT_* macros, which is safe here
+/// because it only runs at the end of a full expression.
+class FailureReporter {
+ public:
+  FailureReporter(const char* file, int line, bool fatal)
+      : file_(file), line_(line), fatal_(fatal) {}
+
+  template <typename T>
+  FailureReporter& operator<<(const T& v) {
+    PrintValue(stream_, v);
+    return *this;
+  }
+
+  ~FailureReporter() noexcept(false) {
+    std::fprintf(stderr, "%s:%d: Failure\n%s\n", file_, line_,
+                 stream_.str().c_str());
+    current_test_failed() = true;
+    if (fatal_) throw FatalFailure{};
+  }
+
+ private:
+  const char* file_;
+  int line_;
+  bool fatal_;
+  std::ostringstream stream_;
+};
+
+template <typename A, typename B>
+std::string FormatComparison(const char* op, const char* a_expr,
+                             const char* b_expr, const A& a, const B& b) {
+  std::ostringstream os;
+  os << "Expected: (" << a_expr << ") " << op << " (" << b_expr
+     << "), actual: ";
+  PrintValue(os, a);
+  os << " vs ";
+  PrintValue(os, b);
+  return os.str();
+}
+
+struct CheckResult {
+  bool ok = true;
+  std::string msg;
+  explicit operator bool() const { return ok; }
+};
+
+/// Both operands arrive as function arguments, so temporaries in the
+/// macro's expressions stay alive for the comparison AND the formatting
+/// (binding them to locals inside a macro would dangle for accessors that
+/// return references into temporaries, e.g. Variable::shape()).
+template <typename A, typename B, typename Op>
+CheckResult Compare(const char* op_name, const char* a_expr,
+                    const char* b_expr, const A& a, const B& b, Op op) {
+  if (op(a, b)) return {};
+  return {false, FormatComparison(op_name, a_expr, b_expr, a, b)};
+}
+
+template <typename A, typename B, typename Tol>
+CheckResult CompareNear(const char* a_expr, const char* b_expr, const A& a,
+                        const B& b, Tol tol) {
+  if (std::abs(static_cast<double>(a) - static_cast<double>(b)) <=
+      static_cast<double>(tol))
+    return {};
+  return {false, FormatComparison("~=", a_expr, b_expr, a, b)};
+}
+
+/// FLOAT_EQ/DOUBLE_EQ: tolerance-based approximation of gtest's 4-ULP
+/// rule. A function (not a macro-side tolerance expression) so each
+/// operand is evaluated exactly once, matching the GoogleTest contract.
+template <typename A, typename B>
+CheckResult CompareAlmostEq(const char* a_expr, const char* b_expr,
+                            const A& a, const B& b, double rel) {
+  const double da = static_cast<double>(a);
+  const double db = static_cast<double>(b);
+  if (std::abs(da - db) <= rel * (1.0 + std::abs(da))) return {};
+  return {false, FormatComparison("~=", a_expr, b_expr, a, b)};
+}
+
+// ---------------------------------------------------------------------------
+// Parameterized-test machinery
+// ---------------------------------------------------------------------------
+
+/// TEST_P bodies registered for a fixture, pending instantiation.
+template <typename Fixture>
+struct ParamSuite {
+  struct Entry {
+    const char* test_name;
+    std::function<Test*()> factory;
+  };
+  static std::vector<Entry>& entries() {
+    static std::vector<Entry> list;
+    return list;
+  }
+};
+
+template <typename Fixture>
+int RegisterParamTest(const char* test_name,
+                      std::function<Test*()> factory) {
+  ParamSuite<Fixture>::entries().push_back({test_name, std::move(factory)});
+  return 0;
+}
+
+template <typename Fixture, typename Generator, typename NameGen>
+int InstantiateParamSuite(const char* prefix, const char* fixture_name,
+                          const Generator& params, NameGen name_gen) {
+  std::size_t index = 0;
+  for (const auto& param : params) {
+    TestParamInfo<typename Fixture::ParamType> info{param, index};
+    const std::string param_name = name_gen(info);
+    for (const auto& entry : ParamSuite<Fixture>::entries()) {
+      registry().push_back(
+          {std::string(prefix) + "/" + fixture_name + "." + entry.test_name +
+               "/" + param_name,
+           entry.factory,
+           [param] { Fixture::current_param() = param; }});
+    }
+    ++index;
+  }
+  return 0;
+}
+
+template <typename Fixture, typename Generator>
+int InstantiateParamSuite(const char* prefix, const char* fixture_name,
+                          const Generator& params) {
+  return InstantiateParamSuite<Fixture>(
+      prefix, fixture_name, params,
+      [](const TestParamInfo<typename Fixture::ParamType>& info) {
+        return std::to_string(info.index);
+      });
+}
+
+inline int RegisterTest(const char* suite, const char* name,
+                        std::function<Test*()> factory) {
+  registry().push_back({std::string(suite) + "." + name, std::move(factory),
+                        [] {}});
+  return 0;
+}
+
+}  // namespace internal
+
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+  static T& current_param() {
+    static T param{};
+    return param;
+  }
+  static const T& GetParam() { return current_param(); }
+};
+
+/// Homogeneous replacement for ::testing::Values — every argument is
+/// converted to the common type and returned as a vector.
+template <typename... Ts>
+auto Values(Ts&&... vs) {
+  using T = std::common_type_t<std::decay_t<Ts>...>;
+  return std::vector<T>{static_cast<T>(std::forward<Ts>(vs))...};
+}
+
+}  // namespace testing
+
+int RUN_ALL_TESTS();
+
+// ---------------------------------------------------------------------------
+// Macros
+// ---------------------------------------------------------------------------
+
+#define MG_CONCAT_(a, b) a##b
+#define MG_CONCAT(a, b) MG_CONCAT_(a, b)
+
+#define TEST(Suite, Name)                                                     \
+  class MG_CONCAT(Suite##_##Name, _Test) : public ::testing::Test {           \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+  };                                                                          \
+  static const int MG_CONCAT(mg_reg_##Suite##_##Name, __LINE__) =             \
+      ::testing::internal::RegisterTest(#Suite, #Name, [] {                   \
+        return static_cast<::testing::Test*>(                                 \
+            new MG_CONCAT(Suite##_##Name, _Test)());                          \
+      });                                                                     \
+  void MG_CONCAT(Suite##_##Name, _Test)::TestBody()
+
+#define TEST_P(Fixture, Name)                                                 \
+  class MG_CONCAT(Fixture##_##Name, _PTest) : public Fixture {                \
+   public:                                                                    \
+    void TestBody() override;                                                 \
+  };                                                                          \
+  static const int MG_CONCAT(mg_regp_##Fixture##_##Name, __LINE__) =          \
+      ::testing::internal::RegisterParamTest<Fixture>(#Name, [] {             \
+        return static_cast<::testing::Test*>(                                 \
+            new MG_CONCAT(Fixture##_##Name, _PTest)());                       \
+      });                                                                     \
+  void MG_CONCAT(Fixture##_##Name, _PTest)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(Prefix, Fixture, ...)                        \
+  static const int MG_CONCAT(mg_inst_##Prefix##_##Fixture, __LINE__) =        \
+      ::testing::internal::InstantiateParamSuite<Fixture>(#Prefix, #Fixture,  \
+                                                          __VA_ARGS__)
+
+// Failure reporting: the else-branch object swallows `<< message` streams
+// and registers the failure (throwing for fatal macros) at end of
+// statement.
+#define MG_CHECK_IMPL(ok, fatal, default_msg)                                 \
+  if (ok) {                                                                   \
+  } else /* NOLINT */                                                         \
+    ::testing::internal::FailureReporter(__FILE__, __LINE__, fatal)           \
+        << default_msg << " "
+
+#define MG_CMP(a, b, op, fatal)                                              \
+  if (auto mg_result = ::testing::internal::Compare(                         \
+          #op, #a, #b, (a), (b),                                             \
+          [](const auto& x, const auto& y) {                                 \
+            return static_cast<bool>(x op y);                                \
+          });                                                                \
+      mg_result) {                                                           \
+  } else /* NOLINT */                                                        \
+    ::testing::internal::FailureReporter(__FILE__, __LINE__, fatal)          \
+        << mg_result.msg << " "
+
+#define EXPECT_EQ(a, b) MG_CMP(a, b, ==, false)
+#define EXPECT_NE(a, b) MG_CMP(a, b, !=, false)
+#define EXPECT_LT(a, b) MG_CMP(a, b, <, false)
+#define EXPECT_LE(a, b) MG_CMP(a, b, <=, false)
+#define EXPECT_GT(a, b) MG_CMP(a, b, >, false)
+#define EXPECT_GE(a, b) MG_CMP(a, b, >=, false)
+#define ASSERT_EQ(a, b) MG_CMP(a, b, ==, true)
+#define ASSERT_NE(a, b) MG_CMP(a, b, !=, true)
+#define ASSERT_LT(a, b) MG_CMP(a, b, <, true)
+#define ASSERT_LE(a, b) MG_CMP(a, b, <=, true)
+#define ASSERT_GT(a, b) MG_CMP(a, b, >, true)
+#define ASSERT_GE(a, b) MG_CMP(a, b, >=, true)
+
+#define EXPECT_TRUE(c) \
+  MG_CHECK_IMPL(static_cast<bool>(c), false, "Expected true: " #c)
+#define EXPECT_FALSE(c) \
+  MG_CHECK_IMPL(!static_cast<bool>(c), false, "Expected false: " #c)
+#define ASSERT_TRUE(c) \
+  MG_CHECK_IMPL(static_cast<bool>(c), true, "Expected true: " #c)
+#define ASSERT_FALSE(c) \
+  MG_CHECK_IMPL(!static_cast<bool>(c), true, "Expected false: " #c)
+
+#define MG_NEAR(a, b, tol, fatal)                                            \
+  if (auto mg_result =                                                       \
+          ::testing::internal::CompareNear(#a, #b, (a), (b), (tol));         \
+      mg_result) {                                                           \
+  } else /* NOLINT */                                                        \
+    ::testing::internal::FailureReporter(__FILE__, __LINE__, fatal)          \
+        << mg_result.msg << " "
+
+#define EXPECT_NEAR(a, b, tol) MG_NEAR(a, b, tol, false)
+#define ASSERT_NEAR(a, b, tol) MG_NEAR(a, b, tol, true)
+#define MG_ALMOST_EQ(a, b, rel, fatal)                                       \
+  if (auto mg_result =                                                       \
+          ::testing::internal::CompareAlmostEq(#a, #b, (a), (b), (rel));     \
+      mg_result) {                                                           \
+  } else /* NOLINT */                                                        \
+    ::testing::internal::FailureReporter(__FILE__, __LINE__, fatal)          \
+        << mg_result.msg << " "
+
+#define EXPECT_FLOAT_EQ(a, b) MG_ALMOST_EQ(a, b, 4e-7, false)
+#define EXPECT_DOUBLE_EQ(a, b) MG_ALMOST_EQ(a, b, 4e-16, false)
+#define EXPECT_STREQ(a, b) \
+  MG_CHECK_IMPL(std::strcmp((a), (b)) == 0, false, \
+                "Expected equal C-strings: " #a " vs " #b)
+
+#define MG_THROW(stmt, ex, fatal)                                            \
+  MG_CHECK_IMPL(                                                             \
+      [&] {                                                                  \
+        try {                                                                \
+          stmt;                                                              \
+        } catch (const ex&) {                                                \
+          return true;                                                       \
+        } catch (...) {                                                      \
+          return false;                                                      \
+        }                                                                    \
+        return false;                                                        \
+      }(),                                                                   \
+      fatal, "Expected " #stmt " to throw " #ex)
+
+#define EXPECT_THROW(stmt, ex) MG_THROW(stmt, ex, false)
+#define ASSERT_THROW(stmt, ex) MG_THROW(stmt, ex, true)
