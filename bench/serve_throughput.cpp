@@ -1,0 +1,114 @@
+// Serving throughput/latency bench: requests/s and tail latency of the
+// batched serving subsystem at max_batch 1 / 8 / 32, over a tiny
+// hierarchical-aggregation forecast model. Emits BENCH_serving.json
+// (same spirit as BENCH_baseline.json: a committed snapshot future PRs
+// can diff against) in the working directory.
+#include <cstdio>
+#include <fstream>
+
+#include "bench_util.hpp"
+#include "serve/server.hpp"
+
+using namespace dchag;
+
+namespace {
+
+constexpr tensor::Index kChannels = 6;
+constexpr int kRequests = 192;
+
+std::unique_ptr<model::ForecastModel> make_model() {
+  model::ModelConfig cfg = model::ModelConfig::tiny();
+  tensor::Rng rng(17);
+  auto agg = model::AggregationTree::with_units(
+      cfg, model::AggLayerKind::kCrossAttention, kChannels, 2, rng);
+  auto fe = std::make_unique<model::LocalFrontEnd>(cfg, kChannels,
+                                                   std::move(agg), rng);
+  return std::make_unique<model::ForecastModel>(cfg, std::move(fe),
+                                                kChannels, rng);
+}
+
+struct Row {
+  tensor::Index max_batch;
+  serve::Metrics::Snapshot m;
+};
+
+Row run_point(serve::Engine& engine, tensor::Index max_batch) {
+  serve::ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.batcher.max_batch = max_batch;
+  cfg.batcher.max_wait = std::chrono::microseconds(2000);
+  serve::Server server(engine.inference_fn(), cfg);
+
+  const std::vector<std::vector<tensor::Index>> subsets{{}, {0, 2, 5}};
+  std::vector<serve::ResponseFuture> futures;
+  futures.reserve(kRequests);
+  server.start();
+  for (int i = 0; i < kRequests; ++i) {
+    const auto& subset = subsets[static_cast<std::size_t>(i) % 2];
+    const tensor::Index c =
+        subset.empty() ? kChannels
+                       : static_cast<tensor::Index>(subset.size());
+    tensor::Rng rng(500 + static_cast<std::uint64_t>(i));
+    serve::Request r;
+    r.images = rng.normal_tensor({c, 16, 16});
+    r.channels = subset;
+    futures.push_back(server.submit(std::move(r)));
+  }
+  for (auto& f : futures) (void)f.get();
+  server.drain();
+  return {max_batch, server.metrics().summary()};
+}
+
+}  // namespace
+
+int main() {
+  bench::header("serve_throughput",
+                "batched serving: requests/s and tail latency vs max_batch");
+  auto model = make_model();
+  serve::Engine engine(*model);
+
+  std::vector<Row> rows;
+  bench::section("throughput (tiny model, 2 workers, 192 live requests)");
+  std::printf("%10s %12s %10s %10s %10s %12s\n", "max_batch", "req/s",
+              "p50 ms", "p99 ms", "mean batch", "forward ms");
+  for (tensor::Index mb : {1, 8, 32}) {
+    rows.push_back(run_point(engine, mb));
+    const auto& m = rows.back().m;
+    std::printf("%10lld %12.1f %10.2f %10.2f %10.2f %12.3f\n",
+                static_cast<long long>(mb), m.requests_per_s, m.p50_ms,
+                m.p99_ms, m.mean_batch_size, m.mean_forward_ms);
+  }
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"bench\": \"serve_throughput\",\n"
+       << "  \"model\": \"tiny, 6 channels, Tree2 cross-attention\",\n"
+       << "  \"requests\": " << kRequests << ",\n  \"workers\": 2,\n"
+       << "  \"points\": [\n";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    json << "    {\"max_batch\": " << r.max_batch
+         << ", \"requests_per_s\": " << r.m.requests_per_s
+         << ", \"p50_ms\": " << r.m.p50_ms
+         << ", \"p99_ms\": " << r.m.p99_ms
+         << ", \"mean_batch_size\": " << r.m.mean_batch_size
+         << ", \"mean_forward_ms\": " << r.m.mean_forward_ms << "}"
+         << (i + 1 < rows.size() ? "," : "") << "\n";
+  }
+  json << "  ]\n}\n";
+  json.close();
+  std::printf("\nwrote BENCH_serving.json\n");
+
+  bench::ShapeChecks checks;
+  checks.expect(rows[0].m.mean_batch_size == 1.0,
+                "max_batch=1 serves strictly unbatched");
+  checks.expect(rows[1].m.mean_batch_size > 1.0,
+                "max_batch=8 actually coalesces under live load");
+  checks.expect(
+      rows[1].m.requests_per_s > rows[0].m.requests_per_s,
+      "batching raises throughput over unbatched serving");
+  for (const Row& r : rows)
+    checks.expect(r.m.requests == kRequests && r.m.failed == 0,
+                  "all requests served at max_batch=" +
+                      std::to_string(r.max_batch));
+  return checks.report();
+}

@@ -473,12 +473,21 @@ void World::run(const std::function<void(Communicator&)>& fn) {
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
   threads.reserve(static_cast<std::size_t>(size_));
   for (int r = 0; r < size_; ++r) {
-    threads.emplace_back([&, r] {
+    // Every rank body runs inside a catch-all: a throwing closure must
+    // surface as a failed run() on the spawning thread (with the rank
+    // identified), never escape a std::thread and std::terminate the
+    // process.
+    threads.emplace_back([&, r]() noexcept {
       try {
         Communicator comm(state, r);
         fn(comm);
+      } catch (const std::exception& ex) {
+        errors[static_cast<std::size_t>(r)] = std::make_exception_ptr(
+            Error("rank " + std::to_string(r) + ": " + ex.what()));
       } catch (...) {
-        errors[static_cast<std::size_t>(r)] = std::current_exception();
+        errors[static_cast<std::size_t>(r)] = std::make_exception_ptr(
+            Error("rank " + std::to_string(r) +
+                  " threw a non-standard exception"));
       }
     });
   }

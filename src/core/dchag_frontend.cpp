@@ -68,6 +68,87 @@ Variable DchagFrontEnd::forward(const Tensor& images) const {
   return final_->forward(gathered);  // [B, S, D]
 }
 
+Variable DchagFrontEnd::forward_subset(
+    const Tensor& images, std::span<const Index> channels) const {
+  DCHAG_CHECK(images.rank() == 4 &&
+                  images.dim(1) == static_cast<Index>(channels.size()),
+              "forward_subset expects the full subset batch [B, "
+                  << channels.size() << ", H, W], got "
+                  << images.shape().to_string());
+  // Validate the ids up front, before any rank-dependent branching: every
+  // rank sees the identical list, so malformed requests throw uniformly
+  // on all ranks and the collective call sequence stays symmetric
+  // (otherwise a rank with no intersection would sail into the AllGather
+  // while another throws — a deadlock, not an error).
+  Index prev = -1;
+  for (Index c : channels) {
+    DCHAG_CHECK(c > prev && c < total_channels(),
+                "subset channel ids must be strictly increasing in [0, "
+                    << total_channels() << ")");
+    prev = c;
+  }
+  const Index B = images.dim(0);
+  const Index S = cfg_.seq_len();
+  const Index D = cfg_.embed_dim;
+  const Index c_local = local_channels();
+  const int P = comm_->size();
+
+  // This rank's slice of the subset: global ids in
+  // [rank*c_local, (rank+1)*c_local). Sorted ids make it contiguous.
+  const Index lo = static_cast<Index>(comm_->rank()) * c_local;
+  const Index hi = lo + c_local;
+  Index first = 0;
+  Index count = 0;
+  std::vector<Index> mine;
+  for (std::size_t i = 0; i < channels.size(); ++i) {
+    if (channels[i] < lo) first = static_cast<Index>(i) + 1;
+    if (channels[i] >= lo && channels[i] < hi) {
+      mine.push_back(channels[i]);
+      ++count;
+    }
+  }
+
+  // Partial aggregation of the local intersection (or a zero placeholder
+  // for ranks that own none of the requested channels).
+  Variable partial;
+  if (count > 0) {
+    Tensor local = ops::slice(images, 1, first, count);
+    const std::vector<Index> positions =
+        tokenizer_->local_tokenizer().local_positions(mine);
+    Variable tokens =
+        tokenizer_->local_tokenizer().forward_at_positions(local, positions);
+    Variable bscd = autograd::permute(tokens, {0, 2, 1, 3});
+    partial = tree_->forward_subset(bscd, positions);
+  } else {
+    partial = autograd::Variable::input(Tensor(Shape{B, S, D}, 0.0f));
+  }
+
+  Variable as_channel = autograd::reshape(partial, Shape{B, S, 1, D});
+  Variable gathered =
+      P == 1 ? as_channel
+             : parallel::all_gather_cat(as_channel, *comm_, /*dim=*/2,
+                                        parallel::GatherBackward::kLocalSlice);
+
+  // Keep only the representations of ranks that actually own subset
+  // channels (deterministic from `channels`, so all ranks agree).
+  std::vector<Variable> kept;
+  std::vector<Index> slots;
+  for (int r = 0; r < P; ++r) {
+    const Index rlo = static_cast<Index>(r) * c_local;
+    bool has = false;
+    for (Index c : channels)
+      if (c >= rlo && c < rlo + c_local) { has = true; break; }
+    if (has) {
+      kept.push_back(autograd::slice(gathered, 2, static_cast<Index>(r), 1));
+      slots.push_back(static_cast<Index>(r));
+    }
+  }
+  DCHAG_CHECK(!kept.empty(), "subset maps to no rank — empty channel list?");
+  Variable participants =
+      kept.size() == 1 ? kept.front() : autograd::concat(kept, 2);
+  return final_->forward_subset(participants, slots);
+}
+
 Tensor DchagFrontEnd::slice_local_channels(const Tensor& full_images) const {
   DCHAG_CHECK(full_images.rank() == 4 &&
                   full_images.dim(1) == total_channels(),

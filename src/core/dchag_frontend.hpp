@@ -49,6 +49,17 @@ class DchagFrontEnd : public model::FrontEnd {
   [[nodiscard]] autograd::Variable forward(
       const tensor::Tensor& images) const override;
 
+  /// Distributed channel-subset inference (paper §2.1 under §3.3's layout):
+  /// unlike forward(), every rank receives the FULL subset batch
+  /// [B, W, H, W] (W == channels.size(), strictly increasing global ids)
+  /// and slices its own intersection internally. Ranks owning none of the
+  /// subset contribute a zero placeholder to the AllGather (collectives
+  /// must stay symmetric) which is dropped before the final aggregation,
+  /// so the result matches the subset-only math on every rank.
+  [[nodiscard]] autograd::Variable forward_subset(
+      const tensor::Tensor& images,
+      std::span<const Index> channels) const override;
+
   /// The rank-local stage only (tokenize + partial aggregation tree ->
   /// this rank's single channel representation [B, S, D]). Contains no
   /// collectives; useful for profiling the localised workload.

@@ -100,4 +100,52 @@ Variable AggregationTree::forward(const Variable& tokens) const {
   return autograd::reshape(current, tensor::Shape{B, S, D});
 }
 
+Variable AggregationTree::forward_subset(
+    const Variable& tokens, std::span<const Index> slots) const {
+  detail::check_subset_slots(slots, channels_, tokens.shape().dim(2));
+  if (static_cast<Index>(slots.size()) == channels_) return forward(tokens);
+  const auto& s = tokens.shape();
+  DCHAG_CHECK(s.rank() == 4 && s.dim(3) == cfg_.embed_dim,
+              "tree expects [B, S, W, " << cfg_.embed_dim << "], got "
+                                        << s.to_string());
+  const Index B = s.dim(0);
+  const Index S = s.dim(1);
+  const Index D = s.dim(3);
+
+  // `present` lists the full-width slots the current tokens occupy, in
+  // order; `current` holds one token per present slot.
+  std::vector<Index> present(slots.begin(), slots.end());
+  Variable current = tokens;
+  for (std::size_t lvl = 0; lvl < units_.size(); ++lvl) {
+    const auto& widths = plan_.level_widths[lvl];
+    std::vector<Variable> outputs;
+    std::vector<Index> next_present;
+    Index group_off = 0;     // first full-width slot owned by group g
+    std::size_t cursor = 0;  // next unconsumed entry of `present`
+    for (std::size_t g = 0; g < widths.size(); ++g) {
+      std::vector<Index> local;
+      const std::size_t start = cursor;
+      while (cursor < present.size() &&
+             present[cursor] < group_off + widths[g]) {
+        local.push_back(present[cursor] - group_off);
+        ++cursor;
+      }
+      if (!local.empty()) {
+        Variable group = autograd::slice(
+            current, 2, static_cast<Index>(start),
+            static_cast<Index>(local.size()));
+        Variable reduced = units_[lvl][g]->forward_subset(group, local);
+        outputs.push_back(
+            autograd::reshape(reduced, tensor::Shape{B, S, 1, D}));
+        next_present.push_back(static_cast<Index>(g));
+      }
+      group_off += widths[g];
+    }
+    current = outputs.size() == 1 ? outputs.front()
+                                  : autograd::concat(outputs, 2);
+    present = std::move(next_present);
+  }
+  return autograd::reshape(current, tensor::Shape{B, S, D});
+}
+
 }  // namespace dchag::model

@@ -64,6 +64,13 @@ class AggregationTree : public ChannelAggregator {
 
   /// tokens: [B, S, C, D] -> [B, S, D].
   [[nodiscard]] Variable forward(const Variable& tokens) const override;
+  /// Partial-channel path (serving a channel subset, paper §2.1): each
+  /// token is routed to the unit owning its slot; units with no present
+  /// slots are skipped, and the surviving group outputs propagate up the
+  /// tree the same way. Because slots are sorted and groups own contiguous
+  /// slot ranges, every unit's inputs stay one contiguous slice.
+  [[nodiscard]] Variable forward_subset(
+      const Variable& tokens, std::span<const Index> slots) const override;
   [[nodiscard]] Index width() const override { return channels_; }
   [[nodiscard]] const TreePlan& plan() const { return plan_; }
 

@@ -54,11 +54,36 @@ Variable scaled_attention(const Variable& q, const Variable& k,
   return autograd::matmul(autograd::softmax_lastdim(scores), v);
 }
 
+void check_subset_slots(std::span<const Index> slots, Index width,
+                        Index ntokens) {
+  DCHAG_CHECK(static_cast<Index>(slots.size()) == ntokens,
+              "subset has " << ntokens << " tokens but " << slots.size()
+                            << " slots");
+  Index prev = -1;
+  for (Index s : slots) {
+    DCHAG_CHECK(s > prev && s < width,
+                "subset slots must be strictly increasing in [0, " << width
+                                                                   << ")");
+    prev = s;
+  }
+}
+
 }  // namespace detail
 
+using detail::check_subset_slots;
 using detail::merge_heads;
 using detail::scaled_attention;
 using detail::split_heads;
+
+Variable ChannelAggregator::forward_subset(
+    const Variable& tokens, std::span<const Index> slots) const {
+  check_subset_slots(slots, width(), tokens.shape().dim(2));
+  DCHAG_CHECK(static_cast<Index>(slots.size()) == width(),
+              "this aggregator has per-slot structure and only accepts the "
+              "full channel set of width "
+                  << width());
+  return forward(tokens);
+}
 
 MultiHeadSelfAttention::MultiHeadSelfAttention(Index dim, Index heads,
                                                Rng& rng,
@@ -141,6 +166,12 @@ Variable CrossAttentionAggregator::forward(const Variable& tokens) const {
   return autograd::reshape(out, tensor::Shape{B, S, dim_});
 }
 
+Variable CrossAttentionAggregator::forward_subset(
+    const Variable& tokens, std::span<const Index> slots) const {
+  check_subset_slots(slots, channels_, tokens.shape().dim(2));
+  return forward(tokens);
+}
+
 LinearAggregator::LinearAggregator(Index dim, Index channels, Rng& rng,
                                    const std::string& name)
     : dim_(dim), channels_(channels) {
@@ -164,6 +195,23 @@ Variable LinearAggregator::forward(const Variable& tokens) const {
   Variable x = ln_->forward(tokens);
   // Weighted channel combination: [C] -> [C, 1] broadcasts over D.
   Variable w = autograd::reshape(combine_, tensor::Shape{channels_, 1});
+  Variable mixed = autograd::sum_dim(autograd::mul(x, w), 2);  // [B, S, D]
+  return proj_->forward(mixed);
+}
+
+Variable LinearAggregator::forward_subset(
+    const Variable& tokens, std::span<const Index> slots) const {
+  check_subset_slots(slots, channels_, tokens.shape().dim(2));
+  const Index w_sub = static_cast<Index>(slots.size());
+  if (w_sub == channels_) return forward(tokens);
+  Variable x = ln_->forward(tokens);
+  // Gather the present slots' combine weights (slot order == token order).
+  std::vector<Variable> parts;
+  parts.reserve(slots.size());
+  for (Index s : slots) parts.push_back(autograd::slice(combine_, 0, s, 1));
+  Variable w = parts.size() == 1 ? parts.front()
+                                 : autograd::concat(parts, 0);  // [W]
+  w = autograd::reshape(w, tensor::Shape{w_sub, 1});
   Variable mixed = autograd::sum_dim(autograd::mul(x, w), 2);  // [B, S, D]
   return proj_->forward(mixed);
 }

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <memory>
+#include <span>
 
 #include "model/config.hpp"
 #include "tensor/module.hpp"
@@ -25,6 +26,10 @@ namespace detail {
 /// q: [*, h, Nq, dh], k/v: [*, h, Nk, dh].
 [[nodiscard]] Variable scaled_attention(const Variable& q, const Variable& k,
                                         const Variable& v);
+/// Validates a partial-channel slot list: strictly increasing indices in
+/// [0, width), one per token (ntokens == slots.size()).
+void check_subset_slots(std::span<const Index> slots, Index width,
+                        Index ntokens);
 }  // namespace detail
 
 /// Standard multi-head self-attention over the last-but-one dimension:
@@ -51,6 +56,13 @@ class ChannelAggregator : public Module {
   [[nodiscard]] virtual Variable forward(const Variable& tokens) const = 0;
   /// Number of channel tokens this aggregator consumes.
   [[nodiscard]] virtual Index width() const = 0;
+  /// Partial-channel inference (paper §2.1): `tokens` is [B, S, W, D] with
+  /// W == slots.size(), and `slots` are the strictly increasing positions
+  /// (in [0, width())) those tokens occupy in the full-width layout. The
+  /// base implementation only accepts the full set; width-agnostic or
+  /// slot-sliceable aggregators override.
+  [[nodiscard]] virtual Variable forward_subset(
+      const Variable& tokens, std::span<const Index> slots) const;
 };
 
 /// Cross-attention channel aggregation (paper §2.1). With
@@ -71,6 +83,10 @@ class CrossAttentionAggregator : public ChannelAggregator {
 
   /// tokens: [B, S, W, D] with 1 <= W <= width() -> [B, S, D].
   [[nodiscard]] Variable forward(const Variable& tokens) const override;
+  /// Cross-attention has no per-slot weights, so any subset reduces to a
+  /// plain forward over the present tokens.
+  [[nodiscard]] Variable forward_subset(
+      const Variable& tokens, std::span<const Index> slots) const override;
   [[nodiscard]] Index width() const override { return channels_; }
   [[nodiscard]] QueryMode mode() const { return mode_; }
 
@@ -95,6 +111,9 @@ class LinearAggregator : public ChannelAggregator {
 
   /// tokens: [B, S, C, D] -> [B, S, D].
   [[nodiscard]] Variable forward(const Variable& tokens) const override;
+  /// Subsets mix with the combine weights of the present slots only.
+  [[nodiscard]] Variable forward_subset(
+      const Variable& tokens, std::span<const Index> slots) const override;
   [[nodiscard]] Index width() const override { return channels_; }
 
  private:

@@ -25,6 +25,23 @@ Variable LocalFrontEnd::forward(const Tensor& images) const {
   return agg_->forward(bscd);                          // [B, S, D]
 }
 
+Variable FrontEnd::forward_subset(const Tensor& images,
+                                  std::span<const Index> channels) const {
+  (void)images;
+  (void)channels;
+  DCHAG_FAIL("this front-end does not support channel-subset inference");
+}
+
+Variable LocalFrontEnd::forward_subset(
+    const Tensor& images, std::span<const Index> channels) const {
+  // One id->position mapping feeds both the tokenizer and the aggregator
+  // slots (identity positions for the usual 0..C-1 tokenizer).
+  const std::vector<Index> positions = tokenizer_->local_positions(channels);
+  Variable tokens = tokenizer_->forward_at_positions(images, positions);
+  Variable bscd = autograd::permute(tokens, {0, 2, 1, 3});  // [B, S, W, D]
+  return agg_->forward_subset(bscd, positions);
+}
+
 std::unique_ptr<LocalFrontEnd> make_baseline_frontend(const ModelConfig& cfg,
                                                       Index channels,
                                                       Rng& rng) {
@@ -162,10 +179,8 @@ ForecastModel::ForecastModel(const ModelConfig& cfg,
   }
 }
 
-ForecastModel::Output ForecastModel::forward(const Tensor& local_images,
-                                             const Tensor& target_images,
-                                             float lead_time) const {
-  Variable tokens = frontend_->forward(local_images);
+Variable ForecastModel::encode_and_project(Variable tokens,
+                                           float lead_time) const {
   if (lead_conditioned_) {
     // Sinusoidal lead-time features at geometric frequencies, embedded to
     // D and broadcast-added to every token (the Fig. 1 metadata token).
@@ -178,11 +193,30 @@ ForecastModel::Output ForecastModel::forward(const Tensor& local_images,
     Variable lead = lead_embed_->forward(Variable::input(feats));  // [1, D]
     tokens = autograd::add(tokens, lead);  // broadcast over [B, S, D]
   }
-  Variable pred = head_->forward(encoder_->forward(tokens));
+  return head_->forward(encoder_->forward(tokens));
+}
+
+ForecastModel::Output ForecastModel::forward(const Tensor& local_images,
+                                             const Tensor& target_images,
+                                             float lead_time) const {
+  Variable pred =
+      encode_and_project(frontend_->forward(local_images), lead_time);
   Tensor target =
       to_prediction_layout(patchify(target_images, cfg_.patch_size));
   Variable loss = autograd::mse_loss(pred, target);
   return {pred, loss};
+}
+
+Variable ForecastModel::predict(const Tensor& local_images,
+                                float lead_time) const {
+  return encode_and_project(frontend_->forward(local_images), lead_time);
+}
+
+Variable ForecastModel::predict_subset(const Tensor& images,
+                                       std::span<const Index> channels,
+                                       float lead_time) const {
+  return encode_and_project(frontend_->forward_subset(images, channels),
+                            lead_time);
 }
 
 std::vector<float> ForecastModel::per_channel_rmse(

@@ -18,6 +18,13 @@ class FrontEnd : public Module {
  public:
   /// images: [B, C_local, H, W] -> [B, S, D].
   [[nodiscard]] virtual Variable forward(const Tensor& images) const = 0;
+  /// Channel-subset inference (paper §2.1): `images` is [B, W, H, W]
+  /// holding only the listed global channels (strictly increasing,
+  /// W == channels.size()); returns [B, S, D] aggregated from those
+  /// channels alone. Default: unsupported; serving-capable front-ends
+  /// override.
+  [[nodiscard]] virtual Variable forward_subset(
+      const Tensor& images, std::span<const Index> channels) const;
   /// Channels this front-end consumes from the local input tensor.
   [[nodiscard]] virtual Index local_channels() const = 0;
   /// Extracts this front-end's input from the full [B, C, H, W] batch
@@ -37,6 +44,8 @@ class LocalFrontEnd : public FrontEnd {
                 std::unique_ptr<ChannelAggregator> agg, Rng& rng);
 
   [[nodiscard]] Variable forward(const Tensor& images) const override;
+  [[nodiscard]] Variable forward_subset(
+      const Tensor& images, std::span<const Index> channels) const override;
   [[nodiscard]] Index local_channels() const override {
     return tokenizer_->num_channels();
   }
@@ -119,6 +128,18 @@ class ForecastModel : public Module {
                                const Tensor& target_images,
                                float lead_time = 1.0f) const;
 
+  /// Inference-only forward (serving): no target, no loss. Combine with
+  /// autograd::NoGradGuard for a tape-free forward.
+  [[nodiscard]] Variable predict(const Tensor& local_images,
+                                 float lead_time = 1.0f) const;
+
+  /// Inference on a channel subset: `images` [B, W, H, W] carries only the
+  /// listed global channels (routed through the front-end's
+  /// partial-channel path). Returns pred [B, S, C_target * p^2].
+  [[nodiscard]] Variable predict_subset(const Tensor& images,
+                                        std::span<const Index> channels,
+                                        float lead_time = 1.0f) const;
+
   [[nodiscard]] bool lead_conditioned() const { return lead_conditioned_; }
 
   /// Per-channel RMSE between a prediction (head layout) and target
@@ -131,6 +152,11 @@ class ForecastModel : public Module {
 
  private:
   static constexpr Index kLeadFeatures = 16;  // 8 sin/cos frequency pairs
+
+  /// Lead conditioning + encoder + head over aggregated tokens [B, S, D];
+  /// the shared tail of forward() and the predict paths.
+  [[nodiscard]] Variable encode_and_project(Variable tokens,
+                                            float lead_time) const;
 
   ModelConfig cfg_;
   Index target_channels_;

@@ -1,5 +1,6 @@
 #include "model/tokenizer.hpp"
 
+#include <algorithm>
 #include <numeric>
 
 namespace dchag::model {
@@ -110,28 +111,66 @@ PatchTokenizer::PatchTokenizer(const ModelConfig& cfg, Index channels,
     : PatchTokenizer(cfg, iota_channels(channels), rng) {}
 
 Variable PatchTokenizer::forward(const Tensor& images) const {
-  DCHAG_CHECK(images.rank() == 4 && images.dim(1) == num_channels(),
-              "tokenizer expects [B, " << num_channels() << ", H, W], got "
+  return forward_at_positions(images, iota_channels(num_channels()));
+}
+
+std::vector<Index> PatchTokenizer::local_positions(
+    std::span<const Index> channels) const {
+  std::vector<Index> positions;
+  positions.reserve(channels.size());
+  Index prev = -1;
+  for (Index gid : channels) {
+    DCHAG_CHECK(gid > prev, "subset channels must be strictly increasing");
+    prev = gid;
+    const auto it =
+        std::find(channel_ids_.begin(), channel_ids_.end(), gid);
+    DCHAG_CHECK(it != channel_ids_.end(),
+                "channel " << gid << " is not tokenized by this tokenizer");
+    positions.push_back(
+        static_cast<Index>(std::distance(channel_ids_.begin(), it)));
+  }
+  return positions;
+}
+
+Variable PatchTokenizer::forward_subset(
+    const Tensor& images, std::span<const Index> channels) const {
+  return forward_at_positions(images, local_positions(channels));
+}
+
+Variable PatchTokenizer::forward_at_positions(
+    const Tensor& images, const std::vector<Index>& positions) const {
+  DCHAG_CHECK(!positions.empty(), "tokenization needs >= 1 channel");
+  DCHAG_CHECK(images.rank() == 4 &&
+                  images.dim(1) == static_cast<Index>(positions.size()),
+              "tokenizer expects [B, " << positions.size()
+                                       << ", H, W], got "
                                        << images.shape().to_string());
+  for (Index pos : positions) {
+    DCHAG_CHECK(pos >= 0 && pos < num_channels(),
+                "tokenizer position " << pos << " out of [0, "
+                                      << num_channels() << ")");
+  }
   const Index B = images.dim(0);
   const Index S = cfg_.seq_len();
   const Index p2 = cfg_.patch_size * cfg_.patch_size;
-  Tensor patches = patchify(images, cfg_.patch_size);  // [B, C, S, p2]
+  Tensor patches = patchify(images, cfg_.patch_size);  // [B, W, S, p2]
 
   std::vector<Variable> per_channel;
-  per_channel.reserve(static_cast<std::size_t>(num_channels()));
-  for (Index c = 0; c < num_channels(); ++c) {
-    Tensor chan = tensor::ops::slice(patches, 1, c, 1)
+  per_channel.reserve(positions.size());
+  for (std::size_t i = 0; i < positions.size(); ++i) {
+    const Index pos = positions[i];
+    Tensor chan = tensor::ops::slice(patches, 1, static_cast<Index>(i), 1)
                       .reshape(Shape{B, S, p2});
-    Variable tok = embeds_[static_cast<std::size_t>(c)]->forward(
+    Variable tok = embeds_[static_cast<std::size_t>(pos)]->forward(
         Variable::input(chan));                          // [B, S, D]
-    Variable cid = autograd::slice(channel_emb_, 0, c, 1);  // [1, D]
+    Variable cid = autograd::slice(channel_emb_, 0, pos, 1);  // [1, D]
     tok = autograd::add(tok, cid);      // broadcast channel-ID embedding
     tok = autograd::add(tok, pos_emb_); // broadcast positional embedding
     per_channel.push_back(
         autograd::reshape(tok, Shape{B, 1, S, cfg_.embed_dim}));
   }
-  return autograd::concat(per_channel, 1);  // [B, C, S, D]
+  return per_channel.size() == 1 ? per_channel.front()
+                                 : autograd::concat(per_channel, 1);
 }
 
 }  // namespace dchag::model

@@ -9,6 +9,7 @@
 // the corresponding slice of a full tokenizer with the same weights.
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "model/config.hpp"
@@ -46,6 +47,26 @@ class PatchTokenizer : public Module {
   /// images: [B, C_local, H, W] with channels ordered as channel_ids.
   /// Returns tokens [B, C_local, S, D].
   [[nodiscard]] Variable forward(const Tensor& images) const;
+
+  /// Tokenizes only the listed global channels (a strictly increasing
+  /// subsequence of channel_ids()). `images` is [B, W, H, W] holding those
+  /// channels in the same order; each is embedded with the weights of its
+  /// global id, so the result is bit-identical to the corresponding rows
+  /// of a full forward(). Serving's channel-subset path (paper §2.1).
+  [[nodiscard]] Variable forward_subset(
+      const Tensor& images, std::span<const Index> channels) const;
+
+  /// Local positions (indices into channel_ids()) of the given global
+  /// channel ids; fails loudly on channels this tokenizer does not own.
+  [[nodiscard]] std::vector<Index> local_positions(
+      std::span<const Index> channels) const;
+
+  /// Tokenizes `images` [B, W, H, W] whose slabs correspond, in order, to
+  /// channel_ids()[positions[i]]. The shared core of forward() and
+  /// forward_subset(), public so subset callers can reuse an already
+  /// computed local_positions() result instead of mapping twice.
+  [[nodiscard]] Variable forward_at_positions(
+      const Tensor& images, const std::vector<Index>& positions) const;
 
   [[nodiscard]] Index num_channels() const {
     return static_cast<Index>(channel_ids_.size());

@@ -1,0 +1,118 @@
+#include "serve/batcher.hpp"
+
+#include <cstdint>
+#include <cstring>
+
+namespace dchag::serve {
+
+std::string Batcher::lane_key(const Request& r) {
+  std::string key;
+  key.reserve(64);
+  for (Index c : r.channels) {
+    key += std::to_string(c);
+    key += ',';
+  }
+  key += '|';
+  // Bit-exact lead-time match (float equality would conflate -0.0/0.0).
+  std::uint32_t lead_bits = 0;
+  static_assert(sizeof(lead_bits) == sizeof(r.lead_time));
+  std::memcpy(&lead_bits, &r.lead_time, sizeof(lead_bits));
+  key += std::to_string(lead_bits);
+  key += '|';
+  key += r.images.shape().to_string();
+  return key;
+}
+
+ResponseFuture Batcher::submit(Request r) {
+  DCHAG_CHECK(r.images.rank() == 3,
+              "request images must be one sample [C, H, W], got "
+                  << r.images.shape().to_string());
+  if (!r.channels.empty()) {
+    DCHAG_CHECK(r.images.dim(0) == static_cast<Index>(r.channels.size()),
+                "request carries " << r.images.dim(0) << " channel slabs but "
+                                   << r.channels.size() << " channel ids");
+    // Reject malformed subsets at the door: canonical (sorted) ids are
+    // what the model layers require and what keeps lane keys unique.
+    Index prev = -1;
+    for (Index c : r.channels) {
+      DCHAG_CHECK(c > prev,
+                  "request channels must be strictly increasing");
+      prev = c;
+    }
+  }
+  PendingRequest pending;
+  pending.request = std::move(r);
+  pending.enqueued = std::chrono::steady_clock::now();
+  ResponseFuture future = pending.promise.get_future();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    DCHAG_CHECK(!closed_, "submit() on a closed batcher");
+    lanes_[lane_key(pending.request)].push_back(std::move(pending));
+    ++depth_;
+  }
+  cv_.notify_all();
+  return future;
+}
+
+std::optional<Batch> Batcher::pop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    const auto now = std::chrono::steady_clock::now();
+    // 1. A lane filled to max_batch ships immediately; otherwise find the
+    // lane whose oldest request expires first.
+    auto ready = lanes_.end();
+    auto oldest = lanes_.end();
+    for (auto it = lanes_.begin(); it != lanes_.end(); ++it) {
+      if (it->second.empty()) continue;
+      if (static_cast<Index>(it->second.size()) >= cfg_.max_batch) {
+        ready = it;
+        break;
+      }
+      if (oldest == lanes_.end() ||
+          it->second.front().enqueued < oldest->second.front().enqueued) {
+        oldest = it;
+      }
+    }
+    // 2. On timeout (or shutdown flush) the oldest lane ships partial.
+    if (ready == lanes_.end() && oldest != lanes_.end() &&
+        (closed_ || now >= oldest->second.front().enqueued + cfg_.max_wait)) {
+      ready = oldest;
+    }
+    if (ready != lanes_.end()) {
+      Batch batch;
+      auto& lane = ready->second;
+      const auto take = std::min<std::size_t>(
+          lane.size(), static_cast<std::size_t>(cfg_.max_batch));
+      batch.items.reserve(take);
+      for (std::size_t i = 0; i < take; ++i) {
+        batch.items.push_back(std::move(lane.front()));
+        lane.pop_front();
+      }
+      if (lane.empty()) lanes_.erase(ready);
+      depth_ -= take;
+      return batch;
+    }
+    if (closed_) return std::nullopt;  // drained
+    if (oldest == lanes_.end()) {
+      cv_.wait(lock);
+    } else {
+      cv_.wait_until(lock,
+                     oldest->second.front().enqueued + cfg_.max_wait);
+    }
+  }
+}
+
+void Batcher::close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+std::size_t Batcher::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return depth_;
+}
+
+}  // namespace dchag::serve

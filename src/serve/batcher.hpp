@@ -1,0 +1,78 @@
+// Dynamic micro-batching (the standard serving pattern; see the agent-
+// services survey in PAPERS.md): requests queue in per-compatibility-key
+// lanes and a batch is released when a lane reaches max_batch or its
+// oldest request has waited max_wait. Compatible == same channel subset,
+// same lead time, same image shape — exactly the requests that can share
+// one [B, C, S, D] forward without changing any per-sample result.
+#pragma once
+
+#include <chrono>
+#include <deque>
+#include <condition_variable>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/request.hpp"
+
+namespace dchag::serve {
+
+struct BatcherConfig {
+  /// Largest batch a single forward may carry.
+  Index max_batch = 8;
+  /// Longest a request may wait for lane-mates before it ships partial.
+  std::chrono::microseconds max_wait{2000};
+};
+
+/// A request parked in the batcher, carrying its response promise.
+struct PendingRequest {
+  Request request;
+  std::promise<Response> promise;
+  std::chrono::steady_clock::time_point enqueued;
+};
+
+/// A set of mutually compatible requests released together; items.front()
+/// defines the shared channel subset / lead time.
+struct Batch {
+  std::vector<PendingRequest> items;
+};
+
+class Batcher {
+ public:
+  explicit Batcher(BatcherConfig cfg) : cfg_(cfg) {
+    DCHAG_CHECK(cfg_.max_batch >= 1, "max_batch must be >= 1");
+  }
+
+  /// Enqueues a request; the future resolves when a worker finishes the
+  /// batch that carries it. Throws if the batcher is closed.
+  [[nodiscard]] ResponseFuture submit(Request r);
+
+  /// Blocks until a batch is ready: a lane filled to max_batch, a lane's
+  /// oldest request aged past max_wait, or close() flushing leftovers.
+  /// Returns std::nullopt once closed and fully drained — the worker
+  /// shutdown signal.
+  [[nodiscard]] std::optional<Batch> pop();
+
+  /// Stops accepting requests and wakes poppers to drain what remains.
+  void close();
+
+  /// Requests currently parked (all lanes).
+  [[nodiscard]] std::size_t depth() const;
+
+  [[nodiscard]] const BatcherConfig& config() const { return cfg_; }
+
+ private:
+  /// Lane key: channel subset + lead-time bits + image shape.
+  static std::string lane_key(const Request& r);
+
+  BatcherConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<std::string, std::deque<PendingRequest>> lanes_;
+  std::size_t depth_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace dchag::serve

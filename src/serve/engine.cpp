@@ -1,0 +1,29 @@
+#include "serve/engine.hpp"
+
+namespace dchag::serve {
+
+Engine::Engine(model::ForecastModel& model) : model_(&model) {
+  model_->eval();
+}
+
+Tensor Engine::run(const Tensor& images, const std::vector<Index>& channels,
+                   float lead_time) const {
+  DCHAG_CHECK(!model_->is_training(),
+              "serving requires an eval-mode model");
+  autograd::NoGradGuard no_grad;
+  if (channels.empty()) {
+    // Full-channel request; strategy-agnostic input selection (identity
+    // for the single-device front-end).
+    return model_
+        ->predict(model_->frontend().select_input(images), lead_time)
+        .value();
+  }
+  return model_->predict_subset(images, channels, lead_time).value();
+}
+
+InferenceFn Engine::inference_fn() const {
+  return [this](const Tensor& images, const std::vector<Index>& channels,
+                float lead_time) { return run(images, channels, lead_time); };
+}
+
+}  // namespace dchag::serve

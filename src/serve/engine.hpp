@@ -1,0 +1,49 @@
+// The inference engines behind the server's worker pool. Both produce an
+// InferenceFn — the batched forward the Server executes — and both run
+// tape-free (autograd::NoGradGuard) over an eval()'d model, so serving
+// never pays autograd allocation.
+//
+//  * Engine: single-device; one shared read-only model, safe to call from
+//    many worker threads at once (a no-grad forward only reads parameter
+//    values and builds thread-private value nodes).
+//  * SpmdEngine (spmd_engine.hpp): D-CHAG workers over comm::World.
+#pragma once
+
+#include <functional>
+
+#include "model/foundation.hpp"
+
+namespace dchag::serve {
+
+using tensor::Index;
+using tensor::Tensor;
+
+/// Batched inference entry point: images [B, C_sub, H, W] (every sample
+/// the same channel subset / lead time), returns pred [B, S, C_target*p^2].
+using InferenceFn = std::function<Tensor(
+    const Tensor& images, const std::vector<Index>& channels,
+    float lead_time)>;
+
+class Engine {
+ public:
+  /// The model must outlive the engine. It is switched to eval mode here;
+  /// full-channel requests must carry exactly frontend().local_channels()
+  /// channel slabs.
+  explicit Engine(model::ForecastModel& model);
+
+  /// Tape-free batched forward; `channels` empty means all channels,
+  /// otherwise the subset routes through the front-end's partial-channel
+  /// path. Thread-safe for concurrent callers.
+  [[nodiscard]] Tensor run(const Tensor& images,
+                           const std::vector<Index>& channels,
+                           float lead_time) const;
+
+  [[nodiscard]] InferenceFn inference_fn() const;
+
+  [[nodiscard]] const model::ForecastModel& model() const { return *model_; }
+
+ private:
+  model::ForecastModel* model_;
+};
+
+}  // namespace dchag::serve

@@ -1,0 +1,18 @@
+#include "serve/metrics.hpp"
+
+#include <sstream>
+
+namespace dchag::serve {
+
+std::string Metrics::Snapshot::to_string() const {
+  std::ostringstream os;
+  os << "requests=" << requests << " batches=" << batches
+     << " failed=" << failed << " mean_batch=" << mean_batch_size
+     << " p50=" << p50_ms << "ms p95=" << p95_ms << "ms p99=" << p99_ms
+     << "ms queue=" << mean_queue_ms << "ms forward=" << mean_forward_ms
+     << "ms rate=" << requests_per_s << "req/s max_depth="
+     << max_queue_depth;
+  return os.str();
+}
+
+}  // namespace dchag::serve

@@ -1,0 +1,48 @@
+// Typed request/response surface of the serving subsystem.
+//
+// A Request is one sample (no batch dimension): the batcher owns batching.
+// Requests may carry any subset of the trained channels (paper §2.1's
+// deployment flexibility); the engine routes subsets through the
+// aggregation tree's partial-channel path. Responses travel back through
+// std::future, so callers block (or poll) per request while the server
+// coalesces and executes batches on its worker pool.
+#pragma once
+
+#include <future>
+#include <vector>
+
+#include "tensor/tensor.hpp"
+
+namespace dchag::serve {
+
+using tensor::Index;
+using tensor::Tensor;
+
+struct Request {
+  /// One sample, [C_sub, H, W]. C_sub must equal channels.size() when a
+  /// subset is given, or the model's full channel count when it is empty.
+  Tensor images;
+  /// Strictly increasing global channel ids carried by `images`; empty
+  /// means "all trained channels".
+  std::vector<Index> channels;
+  /// Forecast lead time (metadata token); requests only batch together
+  /// when their lead times match.
+  float lead_time = 1.0f;
+};
+
+struct Response {
+  /// Prediction for the sample, [S, C_target * p^2].
+  Tensor pred;
+  /// Size of the coalesced batch this request rode in (>= 1).
+  Index batch_size = 0;
+  /// Time from submit() to batch assembly (queueing + coalescing wait).
+  double queue_ms = 0.0;
+  /// Forward-pass time of the batch that carried this request.
+  double forward_ms = 0.0;
+  /// End-to-end time from submit() to response.
+  double total_ms = 0.0;
+};
+
+using ResponseFuture = std::future<Response>;
+
+}  // namespace dchag::serve

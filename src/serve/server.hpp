@@ -1,0 +1,66 @@
+// The request-facing serving layer: a Batcher in front of a worker pool
+// executing an InferenceFn (single-device Engine or SpmdEngine) over a
+// loaded checkpoint, with Metrics accounting on every stage.
+//
+// Lifecycle: construct -> (optionally submit early; requests park in the
+// batcher) -> start() -> submit()/futures -> drain() or destructor.
+// Workers never leak exceptions: a failing batch fails its requests'
+// futures and the worker keeps serving.
+#pragma once
+
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/engine.hpp"
+#include "serve/metrics.hpp"
+
+namespace dchag::serve {
+
+struct ServerConfig {
+  /// Worker threads executing batches. More than one only helps when the
+  /// InferenceFn is itself thread-safe (the single-device Engine is; an
+  /// SpmdEngine serializes internally).
+  int num_workers = 1;
+  BatcherConfig batcher;
+};
+
+class Server {
+ public:
+  Server(InferenceFn infer, ServerConfig cfg);
+  /// Drains on destruction: closes the batcher, finishes parked work,
+  /// joins workers.
+  ~Server();
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Enqueues one request. Valid before start() — requests park in the
+  /// batcher until workers spin up (handy for deterministic coalescing
+  /// tests and warm-up bursts).
+  [[nodiscard]] ResponseFuture submit(Request r);
+
+  /// Spawns the worker pool. Idempotent.
+  void start();
+
+  /// Stops accepting requests, completes everything parked, joins the
+  /// workers. Idempotent; implied by the destructor.
+  void drain();
+
+  [[nodiscard]] const Metrics& metrics() const { return metrics_; }
+  [[nodiscard]] std::size_t queue_depth() const { return batcher_.depth(); }
+  [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+
+ private:
+  void worker_loop();
+  void execute(Batch batch);
+
+  InferenceFn infer_;
+  ServerConfig cfg_;
+  Batcher batcher_;
+  Metrics metrics_;
+  std::vector<std::thread> workers_;
+  bool started_ = false;
+  bool drained_ = false;
+};
+
+}  // namespace dchag::serve

@@ -1,0 +1,139 @@
+#include "serve/spmd_engine.hpp"
+
+namespace dchag::serve {
+
+SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory)
+    : ranks_(ranks) {
+  DCHAG_CHECK(ranks_ >= 1, "SpmdEngine needs >= 1 rank");
+  DCHAG_CHECK(factory != nullptr, "SpmdEngine needs a model factory");
+  world_thread_ = std::thread([this, factory = std::move(factory)] {
+    try {
+      comm::World world(ranks_);
+      world.run([&](comm::Communicator& comm) {
+        // Tape-free for the lifetime of this rank thread: serving never
+        // records autograd history.
+        autograd::NoGradGuard no_grad;
+        std::unique_ptr<model::ForecastModel> model;
+        try {
+          model = factory(comm);
+          DCHAG_CHECK(model != nullptr, "rank model factory returned null");
+          model->eval();
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(mu_);
+            ++failed_ranks_;
+          }
+          cv_done_.notify_all();
+          throw;
+        }
+        {
+          std::lock_guard<std::mutex> lock(mu_);
+          ++ready_ranks_;
+        }
+        cv_done_.notify_all();
+        // Construction barrier: if any rank's factory threw, the others
+        // must exit too — otherwise they would wait for jobs forever and
+        // World::run could never join.
+        {
+          std::unique_lock<std::mutex> lock(mu_);
+          cv_done_.wait(lock, [&] {
+            return ready_ranks_ + failed_ranks_ >= ranks_;
+          });
+          if (failed_ranks_ > 0) return;
+        }
+
+        std::uint64_t seen = 0;
+        for (;;) {
+          Job job;
+          {
+            std::unique_lock<std::mutex> lock(mu_);
+            cv_job_.wait(lock, [&] { return stop_ || job_seq_ > seen; });
+            if (stop_) return;
+            seen = job_seq_;
+            job = job_;
+          }
+          // A throwing forward must not kill the world: capture the error
+          // and keep serving. Model validation runs on identical inputs on
+          // every rank before any collective, so failures are uniform and
+          // all ranks reach the barrier with the same (error) outcome.
+          autograd::Variable pred;
+          std::exception_ptr err;
+          try {
+            pred = job.channels->empty()
+                       ? model->predict(
+                             model->frontend().select_input(*job.images),
+                             job.lead_time)
+                       : model->predict_subset(*job.images, *job.channels,
+                                               job.lead_time);
+          } catch (...) {
+            err = std::current_exception();
+          }
+          // All ranks hold the replicated outcome; sync before rank 0
+          // publishes so no rank still reads the job slot afterwards.
+          comm.barrier();
+          if (comm.rank() == 0) {
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              job_error_ = err;
+              if (!err) result_ = pred.value();
+              done_seq_ = seen;
+            }
+            cv_done_.notify_all();
+          }
+        }
+      });
+    } catch (...) {
+      {
+        std::lock_guard<std::mutex> lock(mu_);
+        failure_ = std::current_exception();
+        stop_ = true;
+        ready_ranks_ = ranks_;  // unblock the constructor's wait
+      }
+      cv_done_.notify_all();
+      cv_job_.notify_all();
+    }
+  });
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Either every rank reports ready, or the world thread dies (its catch
+  // block sets failure_ and forces ready_ranks_ up to unblock us).
+  cv_done_.wait(lock, [&] { return ready_ranks_ >= ranks_; });
+  if (failure_) {
+    lock.unlock();
+    stop_and_join();
+    std::rethrow_exception(failure_);
+  }
+}
+
+SpmdEngine::~SpmdEngine() { stop_and_join(); }
+
+void SpmdEngine::stop_and_join() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_job_.notify_all();
+  if (world_thread_.joinable()) world_thread_.join();
+}
+
+Tensor SpmdEngine::run(const Tensor& images,
+                       const std::vector<Index>& channels, float lead_time) {
+  std::lock_guard<std::mutex> run_lock(run_mu_);
+  std::unique_lock<std::mutex> lock(mu_);
+  if (failure_) std::rethrow_exception(failure_);
+  DCHAG_CHECK(!stop_, "run() on a stopped SpmdEngine");
+  job_ = Job{&images, &channels, lead_time};
+  const std::uint64_t seq = ++job_seq_;
+  cv_job_.notify_all();
+  cv_done_.wait(lock, [&] { return done_seq_ >= seq || failure_ != nullptr; });
+  if (failure_) std::rethrow_exception(failure_);
+  if (job_error_) std::rethrow_exception(job_error_);  // world still serves
+  return result_;
+}
+
+InferenceFn SpmdEngine::inference_fn() {
+  return [this](const Tensor& images, const std::vector<Index>& channels,
+                float lead_time) { return run(images, channels, lead_time); };
+}
+
+}  // namespace dchag::serve

@@ -1,0 +1,80 @@
+// SPMD D-CHAG serving workers over the in-process comm::World runtime.
+//
+// The engine owns one long-lived World whose rank threads each construct
+// their own rank-local model (via the factory) once, then loop on a shared
+// job slot: every rank reads the same full batch, slices its own channels
+// (DchagFrontEnd does this internally, including the partial-channel
+// subset path), runs the tape-free forward — whose final aggregation
+// output is replicated across ranks — and rank 0 publishes the result.
+// Construction cost (tokenizer/tree weights per rank) is paid once at
+// cold start, not per batch.
+#pragma once
+
+#include <memory>
+#include <thread>
+
+#include "comm/communicator.hpp"
+#include "serve/engine.hpp"
+
+namespace dchag::serve {
+
+class SpmdEngine {
+ public:
+  /// Builds this rank's model; called once per rank inside the world. All
+  /// ranks must construct replicated parameters from the same master seed
+  /// (or load the same checkpoint shards) — the usual D-CHAG contract.
+  using RankModelFactory =
+      std::function<std::unique_ptr<model::ForecastModel>(
+          comm::Communicator&)>;
+
+  /// Spawns `ranks` worker ranks and blocks until every rank's model is
+  /// constructed (cold start). Throws if any rank fails to construct.
+  SpmdEngine(int ranks, RankModelFactory factory);
+  ~SpmdEngine();
+  SpmdEngine(const SpmdEngine&) = delete;
+  SpmdEngine& operator=(const SpmdEngine&) = delete;
+
+  /// Runs one batched forward across all ranks. `images` is the FULL batch
+  /// [B, C, H, W] for full-channel requests (each rank takes its slice) or
+  /// the full subset batch [B, W, H, W] when `channels` names a subset.
+  /// Serialized: concurrent callers queue on an internal mutex (the world
+  /// is one SPMD pipeline). A forward that throws (e.g. an out-of-range
+  /// channel id) rethrows here but leaves the world serving — model
+  /// validation runs on identical inputs on every rank, so such failures
+  /// are uniform and the ranks stay in step.
+  [[nodiscard]] Tensor run(const Tensor& images,
+                           const std::vector<Index>& channels,
+                           float lead_time);
+
+  [[nodiscard]] InferenceFn inference_fn();
+
+  [[nodiscard]] int ranks() const { return ranks_; }
+
+ private:
+  struct Job {
+    const Tensor* images = nullptr;
+    const std::vector<Index>* channels = nullptr;
+    float lead_time = 1.0f;
+  };
+
+  void stop_and_join();
+
+  int ranks_;
+  std::thread world_thread_;
+
+  std::mutex run_mu_;  // serializes run() callers
+  std::mutex mu_;      // guards everything below
+  std::condition_variable cv_job_;
+  std::condition_variable cv_done_;
+  Job job_;
+  Tensor result_;
+  std::exception_ptr job_error_;  ///< failure of the last job, if any
+  std::uint64_t job_seq_ = 0;
+  std::uint64_t done_seq_ = 0;
+  int ready_ranks_ = 0;
+  int failed_ranks_ = 0;  ///< ranks whose model factory threw
+  bool stop_ = false;
+  std::exception_ptr failure_;  ///< fatal: the world itself died
+};
+
+}  // namespace dchag::serve

@@ -7,6 +7,21 @@ namespace dchag::autograd {
 
 namespace ops = tensor::ops;
 
+namespace {
+thread_local bool tls_grad_enabled = true;
+thread_local std::uint64_t tls_tape_nodes = 0;
+}  // namespace
+
+bool is_grad_enabled() { return tls_grad_enabled; }
+
+std::uint64_t tape_nodes_created() { return tls_tape_nodes; }
+
+NoGradGuard::NoGradGuard() : prev_(tls_grad_enabled) {
+  tls_grad_enabled = false;
+}
+
+NoGradGuard::~NoGradGuard() { tls_grad_enabled = prev_; }
+
 void accumulate_grad(Node& n, const Tensor& g) {
   if (!n.requires_grad) return;
   DCHAG_CHECK(g.shape() == n.value.shape(),
@@ -42,6 +57,12 @@ Variable make_op(Tensor value, std::vector<Variable> parents,
                  std::function<void(const Tensor&)> backward) {
   auto n = std::make_shared<Node>();
   n->value = std::move(value);
+  if (!tls_grad_enabled) {
+    // Inference mode: the op's value survives but no history is recorded —
+    // parents (and their activations) free as soon as callers drop them.
+    return Variable(std::move(n));
+  }
+  ++tls_tape_nodes;
   for (const Variable& p : parents) {
     DCHAG_CHECK(p.defined(), "undefined parent in make_op");
     n->requires_grad = n->requires_grad || p.requires_grad();

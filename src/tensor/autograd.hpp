@@ -7,6 +7,7 @@
 // collectives in parallel/) plug in through make_op().
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <string>
@@ -35,6 +36,31 @@ struct Node {
 /// Adds `g` into the node's gradient accumulator (allocating on first use).
 /// No-op if the node does not require grad.
 void accumulate_grad(Node& n, const Tensor& g);
+
+/// Whether ops built on this thread record the tape (parents + backward
+/// closures). Grad mode is thread-local: each SPMD rank thread and each
+/// serving worker controls its own tape independently.
+[[nodiscard]] bool is_grad_enabled();
+
+/// Number of tape nodes (op nodes with recorded parents) created on this
+/// thread since it started. Inference paths assert this stays flat across
+/// a forward to prove they allocate zero autograd state.
+[[nodiscard]] std::uint64_t tape_nodes_created();
+
+/// RAII guard disabling tape recording on the current thread. While active,
+/// make_op() produces bare value nodes: no parents, no backward closures,
+/// no grad requirement — the serving fast path. Nests and restores the
+/// previous mode on destruction.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
 
 class Variable {
  public:

@@ -47,6 +47,16 @@ class Module {
     for (const Module* c : children_) c->collect_parameters(out);
   }
 
+  /// Recursively flips training mode (train/eval) on this module and every
+  /// registered child. Serving asserts eval mode; layers with mode-dependent
+  /// behaviour (dropout, batch statistics) branch on is_training().
+  void train(bool mode = true) {
+    training_ = mode;
+    for (Module* c : children_) c->train(mode);
+  }
+  void eval() { train(false); }
+  [[nodiscard]] bool is_training() const { return training_; }
+
  protected:
   Variable register_param(std::string name, tensor::Tensor init) {
     Variable v = Variable::param(std::move(init), std::move(name));
@@ -54,11 +64,12 @@ class Module {
     return v;
   }
   /// Child must outlive this module (members registered in ctor order).
-  void register_child(const Module& child) { children_.push_back(&child); }
+  void register_child(Module& child) { children_.push_back(&child); }
 
  private:
   std::vector<Variable> params_;
-  std::vector<const Module*> children_;
+  std::vector<Module*> children_;
+  bool training_ = true;
 };
 
 /// Dense layer y = x W + b with Xavier init; the workhorse of every module.

@@ -22,6 +22,23 @@ std::uint64_t read_u64(std::ifstream& f) {
   return v;
 }
 
+constexpr std::uint64_t byteswap_u64(std::uint64_t v) {
+  std::uint64_t out = 0;
+  for (int i = 0; i < 8; ++i) {
+    out = (out << 8) | (v & 0xFFu);
+    v >>= 8;
+  }
+  return out;
+}
+
+std::uint64_t file_size_of(std::ifstream& f) {
+  const std::streampos cur = f.tellg();
+  f.seekg(0, std::ios::end);
+  const std::streampos end = f.tellg();
+  f.seekg(cur);
+  return static_cast<std::uint64_t>(end);
+}
+
 struct RawEntry {
   tensor::Shape shape;
   std::streampos data_pos;
@@ -29,29 +46,54 @@ struct RawEntry {
 
 std::map<std::string, RawEntry> index_file(std::ifstream& f,
                                            const std::string& path) {
+  const std::uint64_t file_bytes = file_size_of(f);
   char magic[4];
   f.read(magic, 4);
   DCHAG_CHECK(f.good() && std::memcmp(magic, kMagic, 4) == 0,
               path << " is not a D-CHAG checkpoint");
   const std::uint64_t version = read_u64(f);
+  // A byte-swapped version number means the file was written on a machine
+  // of the opposite endianness: every u64 and float payload would be
+  // silently misread, so fail with the actual cause instead.
+  DCHAG_CHECK(byteswap_u64(version) != kVersion,
+              path << " was written on a machine of opposite endianness "
+                      "(byte-swapped header); re-export the checkpoint on "
+                      "a same-endianness host");
   DCHAG_CHECK(version == kVersion, "unsupported checkpoint version "
                                        << version);
   const std::uint64_t count = read_u64(f);
   std::map<std::string, RawEntry> entries;
   for (std::uint64_t i = 0; i < count; ++i) {
     const std::uint64_t name_len = read_u64(f);
+    DCHAG_CHECK(name_len > 0 && name_len <= file_bytes,
+                path << ": implausible parameter-name length " << name_len
+                     << " (corrupt or truncated header)");
     std::string name(name_len, '\0');
     f.read(name.data(), static_cast<std::streamsize>(name_len));
+    DCHAG_CHECK(f.good(), "truncated parameter name in " << path);
     const std::uint64_t rank = read_u64(f);
+    DCHAG_CHECK(rank <= 8, path << ": implausible tensor rank " << rank
+                                << " for '" << name << "'");
     std::vector<tensor::Index> dims(rank);
     for (auto& d : dims) d = static_cast<tensor::Index>(read_u64(f));
     tensor::Shape shape{std::vector<tensor::Index>(dims)};
     RawEntry e{shape, f.tellg()};
     DCHAG_CHECK(!entries.contains(name),
                 "duplicate parameter '" << name << "' in " << path);
+    const std::uint64_t data_bytes =
+        static_cast<std::uint64_t>(shape.numel()) * sizeof(float);
+    const std::uint64_t data_end =
+        static_cast<std::uint64_t>(e.data_pos) + data_bytes;
+    // seekg past EOF does not fail until the next read, so check the size
+    // explicitly — otherwise a truncated file loads garbage silently.
+    DCHAG_CHECK(data_end <= file_bytes,
+                path << ": parameter '" << name << "' needs " << data_bytes
+                     << " bytes at offset "
+                     << static_cast<std::uint64_t>(e.data_pos)
+                     << " but the file has only " << file_bytes
+                     << " bytes (truncated or size-mismatched checkpoint)");
     entries.emplace(std::move(name), std::move(e));
-    f.seekg(static_cast<std::streamoff>(shape.numel() * sizeof(float)),
-            std::ios::cur);
+    f.seekg(static_cast<std::streamoff>(data_bytes), std::ios::cur);
     DCHAG_CHECK(f.good(), "truncated checkpoint " << path);
   }
   return entries;
@@ -102,6 +144,16 @@ void load_parameters(const std::string& path,
            static_cast<std::streamsize>(p.shape().numel() * sizeof(float)));
     DCHAG_CHECK(f.good(), "truncated data for '" << p.name() << "'");
   }
+}
+
+void save_module(const std::string& path, const autograd::Module& m) {
+  const std::vector<autograd::Variable> params = m.parameters();
+  save_parameters(path, params);
+}
+
+void load_module(const std::string& path, const autograd::Module& m) {
+  std::vector<autograd::Variable> params = m.parameters();
+  load_parameters(path, params);
 }
 
 std::vector<CheckpointEntry> list_checkpoint(const std::string& path) {

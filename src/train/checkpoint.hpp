@@ -22,6 +22,16 @@ void save_parameters(const std::string& path,
 void load_parameters(const std::string& path,
                      std::span<autograd::Variable> params);
 
+/// Saves every parameter of `m` (depth-first registration order).
+void save_module(const std::string& path, const autograd::Module& m);
+
+/// Serve-side cold start: loads a checkpoint into a freshly constructed
+/// model. The module is const because loading mutates parameter *values*
+/// (shared autograd nodes), not the module structure. Round-trips with
+/// save_module: save(m); load into a same-architecture m2; outputs match
+/// bit-for-bit.
+void load_module(const std::string& path, const autograd::Module& m);
+
 /// Names + shapes stored in a checkpoint, for inspection/tests.
 struct CheckpointEntry {
   std::string name;

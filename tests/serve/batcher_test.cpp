@@ -1,0 +1,96 @@
+// Dynamic micro-batching: lane coalescing up to max_batch, max-wait
+// timeout release, compatibility keys, and close/drain semantics.
+#include "serve/batcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+namespace dchag::serve {
+namespace {
+
+using tensor::Shape;
+using tensor::Tensor;
+
+Request make_request(std::vector<Index> channels, float lead = 1.0f) {
+  const Index c = channels.empty() ? 2 : static_cast<Index>(channels.size());
+  Request r;
+  r.images = Tensor(Shape{c, 4, 4}, 0.5f);
+  r.channels = std::move(channels);
+  r.lead_time = lead;
+  return r;
+}
+
+TEST(Batcher, CoalescesCompatibleRequestsUpToMaxBatch) {
+  Batcher b({/*max_batch=*/4, /*max_wait=*/std::chrono::microseconds(
+                 10'000'000)});
+  std::vector<ResponseFuture> futures;
+  for (int i = 0; i < 5; ++i) futures.push_back(b.submit(make_request({0, 2})));
+  for (int i = 0; i < 3; ++i) futures.push_back(b.submit(make_request({1})));
+  EXPECT_EQ(b.depth(), 8u);
+
+  // Lane {0,2} reached max_batch -> ships 4 immediately (no wait needed).
+  auto batch = b.pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->items.size(), 4u);
+  EXPECT_EQ(batch->items.front().request.channels, (std::vector<Index>{0, 2}));
+  EXPECT_EQ(b.depth(), 4u);
+
+  // close() flushes leftovers oldest-first: the {0,2} remainder, then {1}.
+  b.close();
+  batch = b.pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->items.size(), 1u);
+  EXPECT_EQ(batch->items.front().request.channels, (std::vector<Index>{0, 2}));
+  batch = b.pop();
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->items.size(), 3u);
+  EXPECT_EQ(batch->items.front().request.channels, (std::vector<Index>{1}));
+  EXPECT_FALSE(b.pop().has_value());
+  EXPECT_EQ(b.depth(), 0u);
+}
+
+TEST(Batcher, MaxWaitReleasesPartialBatch) {
+  const auto wait = std::chrono::microseconds(30'000);
+  Batcher b({/*max_batch=*/8, wait});
+  (void)b.submit(make_request({0, 1}));
+  (void)b.submit(make_request({0, 1}));
+  const auto t0 = std::chrono::steady_clock::now();
+  auto batch = b.pop();  // blocks until the oldest request ages out
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->items.size(), 2u);
+  EXPECT_GE(elapsed, std::chrono::microseconds(20'000));
+  EXPECT_LT(elapsed, std::chrono::seconds(10));
+}
+
+TEST(Batcher, IncompatibleRequestsNeverShareABatch) {
+  Batcher b({/*max_batch=*/8, std::chrono::microseconds(1000)});
+  (void)b.submit(make_request({0, 1}, 1.0f));
+  (void)b.submit(make_request({0, 1}, 2.0f));  // same subset, other lead
+  (void)b.submit(make_request({0, 3}, 1.0f));  // other subset
+  b.close();
+  for (int i = 0; i < 3; ++i) {
+    auto batch = b.pop();
+    ASSERT_TRUE(batch.has_value());
+    EXPECT_EQ(batch->items.size(), 1u) << "batch " << i;
+  }
+  EXPECT_FALSE(b.pop().has_value());
+}
+
+TEST(Batcher, ValidatesRequestsAndRejectsAfterClose) {
+  Batcher b({4, std::chrono::microseconds(1000)});
+  Request bad = make_request({0, 1, 2});
+  bad.images = Tensor(Shape{2, 4, 4}, 0.0f);  // 2 slabs, 3 channel ids
+  EXPECT_THROW(b.submit(std::move(bad)), Error);
+  Request batched = make_request({});
+  batched.images = Tensor(Shape{1, 2, 4, 4}, 0.0f);  // rank-4: not a sample
+  EXPECT_THROW(b.submit(std::move(batched)), Error);
+  EXPECT_THROW(b.submit(make_request({2, 0})), Error);  // unsorted subset
+  EXPECT_THROW(b.submit(make_request({1, 1})), Error);  // duplicate id
+  b.close();
+  EXPECT_THROW(b.submit(make_request({0})), Error);
+}
+
+}  // namespace
+}  // namespace dchag::serve

@@ -1,0 +1,99 @@
+// The serving fast path's contract with the tape: NoGradGuard forwards
+// allocate zero tape nodes, produce bit-identical values to grad-mode
+// forwards, nest correctly, and eval-mode plumbing reaches every child.
+#include <gtest/gtest.h>
+
+#include "model/foundation.hpp"
+
+namespace dchag::serve {
+namespace {
+
+namespace ops = dchag::tensor::ops;
+using dchag::autograd::NoGradGuard;
+using dchag::autograd::Variable;
+using dchag::model::ForecastModel;
+using dchag::model::ModelConfig;
+using dchag::tensor::Index;
+using dchag::tensor::Rng;
+using dchag::tensor::Shape;
+using dchag::tensor::Tensor;
+
+ForecastModel make_model(Index channels, std::uint64_t seed) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(seed);
+  auto fe = dchag::model::make_baseline_frontend(cfg, channels, rng);
+  return ForecastModel(cfg, std::move(fe), channels, rng);
+}
+
+TEST(NoGrad, GuardDisablesRecordingAndRestores) {
+  EXPECT_TRUE(dchag::autograd::is_grad_enabled());
+  {
+    NoGradGuard guard;
+    EXPECT_FALSE(dchag::autograd::is_grad_enabled());
+    {
+      NoGradGuard nested;
+      EXPECT_FALSE(dchag::autograd::is_grad_enabled());
+    }
+    EXPECT_FALSE(dchag::autograd::is_grad_enabled());
+  }
+  EXPECT_TRUE(dchag::autograd::is_grad_enabled());
+}
+
+TEST(NoGrad, OpsUnderGuardHaveNoHistory) {
+  Rng rng(1);
+  Variable w = Variable::param(rng.normal_tensor(Shape{3, 3}), "w");
+  NoGradGuard guard;
+  Variable y = autograd::matmul(w, w);
+  EXPECT_FALSE(y.requires_grad());
+  EXPECT_TRUE(y.node()->parents.empty());
+  EXPECT_FALSE(static_cast<bool>(y.node()->backward_fn));
+}
+
+TEST(NoGrad, ModelForwardAllocatesZeroTapeNodes) {
+  ForecastModel model = make_model(3, 7);
+  Rng data(2);
+  Tensor images = data.normal_tensor(Shape{2, 3, 16, 16});
+
+  // Grad mode builds a tape...
+  const std::uint64_t before_grad = dchag::autograd::tape_nodes_created();
+  (void)model.predict(images);
+  const std::uint64_t grad_nodes =
+      dchag::autograd::tape_nodes_created() - before_grad;
+  EXPECT_GT(grad_nodes, 100u);
+
+  // ...the serving path builds none.
+  const std::uint64_t before = dchag::autograd::tape_nodes_created();
+  {
+    NoGradGuard guard;
+    (void)model.predict(images);
+  }
+  EXPECT_EQ(dchag::autograd::tape_nodes_created(), before);
+}
+
+TEST(NoGrad, InferenceValuesMatchGradModeBitForBit) {
+  ForecastModel model = make_model(4, 9);
+  Rng data(3);
+  Tensor images = data.normal_tensor(Shape{1, 4, 16, 16});
+  Tensor with_grad = model.predict(images, 2.0f).value();
+  Tensor without_grad;
+  {
+    NoGradGuard guard;
+    without_grad = model.predict(images, 2.0f).value();
+  }
+  EXPECT_EQ(ops::max_abs_diff(with_grad, without_grad), 0.0f);
+}
+
+TEST(EvalMode, TrainFlagReachesEveryChild) {
+  ForecastModel model = make_model(2, 11);
+  EXPECT_TRUE(model.is_training());
+  EXPECT_TRUE(model.frontend().is_training());
+  model.eval();
+  EXPECT_FALSE(model.is_training());
+  EXPECT_FALSE(model.frontend().is_training());
+  model.train();
+  EXPECT_TRUE(model.is_training());
+  EXPECT_TRUE(model.frontend().is_training());
+}
+
+}  // namespace
+}  // namespace dchag::serve
