@@ -1,20 +1,37 @@
 // Microbenchmark (google-benchmark): tensor kernels and model building
 // blocks of the CPU substrate (matmul, softmax, attention fwd/bwd,
 // aggregation units). Characterises the simulator, not Frontier.
+//
+// The *Backend benches sweep the runtime-dispatched kernel backends
+// (0 = naive, 1 = blocked, 2 = parallel; tensor/kernel_config.hpp).
+// `micro_kernels --benchmark_filter=Backend --benchmark_out=BENCH_kernels.json
+// --benchmark_out_format=json` regenerates the committed BENCH_kernels.json
+// that scripts/bench_compare.py gates on (see .github/workflows/ci.yml).
 #include <benchmark/benchmark.h>
 
 #include "model/aggregation.hpp"
 #include "model/tokenizer.hpp"
 #include "model/vit.hpp"
+#include "tensor/kernel_config.hpp"
 
 namespace {
 
 using namespace dchag;
 using autograd::Variable;
+using tensor::KernelBackend;
+using tensor::KernelScope;
 using tensor::Rng;
 using tensor::Shape;
 using tensor::Tensor;
 namespace ops = tensor::ops;
+
+KernelBackend backend_arg(std::int64_t v) {
+  switch (v) {
+    case 0: return KernelBackend::kNaive;
+    case 1: return KernelBackend::kBlocked;
+    default: return KernelBackend::kParallel;
+  }
+}
 
 void BM_Matmul(benchmark::State& state) {
   const auto n = state.range(0);
@@ -28,6 +45,61 @@ void BM_Matmul(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
 }
 BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
+
+// ----- kernel-backend sweeps (the bench-gate surface) ----------------------
+
+void BM_MatmulBackend(benchmark::State& state) {
+  const auto n = state.range(0);
+  KernelScope scope({backend_arg(state.range(1)), 0});
+  Rng rng(1);
+  Tensor a = rng.normal_tensor(Shape{n, n});
+  Tensor b = rng.normal_tensor(Shape{n, n});
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatmulBackend)
+    ->ArgNames({"n", "backend"})
+    ->ArgsProduct({{128, 256, 512}, {0, 1, 2}});
+
+void BM_BatchedMatmulBackend(benchmark::State& state) {
+  // The attention shape: [B*h, N, dh] x shared [dh, dh'] projections.
+  KernelScope scope({backend_arg(state.range(0)), 0});
+  Rng rng(2);
+  Tensor a = rng.normal_tensor(Shape{16, 64, 64});
+  Tensor b = rng.normal_tensor(Shape{64, 64});
+  for (auto _ : state) {
+    Tensor c = ops::matmul(a, b);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 16 * 2 * 64 * 64 * 64);
+}
+BENCHMARK(BM_BatchedMatmulBackend)->ArgNames({"backend"})->DenseRange(0, 2);
+
+void BM_SoftmaxBackend(benchmark::State& state) {
+  KernelScope scope({backend_arg(state.range(0)), 0});
+  Rng rng(3);
+  Tensor a = rng.normal_tensor(Shape{512, 1024});
+  for (auto _ : state) {
+    Tensor y = ops::softmax_lastdim(a);
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_SoftmaxBackend)->ArgNames({"backend"})->DenseRange(0, 2);
+
+void BM_ElementwiseBackend(benchmark::State& state) {
+  KernelScope scope({backend_arg(state.range(0)), 0});
+  Rng rng(4);
+  Tensor a = rng.normal_tensor(Shape{1024, 1024});
+  Tensor b = rng.normal_tensor(Shape{1024, 1024});
+  for (auto _ : state) {
+    Tensor y = ops::gelu(ops::add(a, b));
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ElementwiseBackend)->ArgNames({"backend"})->DenseRange(0, 2);
 
 void BM_SoftmaxLastDim(benchmark::State& state) {
   Rng rng(2);

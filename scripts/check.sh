@@ -2,36 +2,56 @@
 # Tier-1 verify: configure, build everything (tests + examples + benches),
 # and run ctest. With --format, also check clang-format compliance first.
 #
-# Usage:  scripts/check.sh [--format] [build-dir]
+# Usage:  scripts/check.sh [--format|--format-only] [build-dir]
+#   --format       run the clang-format check before build+ctest
+#   --format-only  run just the clang-format check (the CI format job)
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
 check_format=0
+format_only=0
 build_dir="build"
 for arg in "$@"; do
   case "$arg" in
     --format) check_format=1 ;;
-    -h|--help) echo "usage: scripts/check.sh [--format] [build-dir]"; exit 0 ;;
+    --format-only) check_format=1; format_only=1 ;;
+    -h|--help)
+      echo "usage: scripts/check.sh [--format|--format-only] [build-dir]"
+      exit 0 ;;
     *) build_dir="$arg" ;;
   esac
 done
 
 cd "$repo_root"
 
+# Portable parallelism probe: nproc is Linux/coreutils-only and mapfile
+# needs bash >= 4 (macOS ships 3.2), so avoid both.
+jobs="$( (command -v nproc >/dev/null 2>&1 && nproc) ||
+         sysctl -n hw.ncpu 2>/dev/null || echo 4 )"
+
 if [[ "$check_format" == 1 ]]; then
   if command -v clang-format >/dev/null 2>&1; then
     echo "== clang-format check"
-    mapfile -t sources < <(git ls-files '*.cpp' '*.hpp')
+    sources=()
+    while IFS= read -r f; do sources+=("$f"); done \
+      < <(git ls-files '*.cpp' '*.hpp')
     clang-format --dry-run --Werror "${sources[@]}"
+  elif [[ "$format_only" == 1 ]]; then
+    echo "== clang-format not found but --format-only requested" >&2
+    exit 1
   else
     echo "== clang-format not found; skipping format check" >&2
   fi
+fi
+if [[ "$format_only" == 1 ]]; then
+  echo "== OK (format only)"
+  exit 0
 fi
 
 echo "== configure"
 cmake -B "$build_dir" -S . -DDCHAG_BUILD_BENCH=ON
 echo "== build"
-cmake --build "$build_dir" -j "$(nproc)"
+cmake --build "$build_dir" -j "$jobs"
 echo "== ctest"
-ctest --test-dir "$build_dir" --output-on-failure -j "$(nproc)"
+ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 echo "== OK"

@@ -10,7 +10,7 @@ using tensor::Tensor;
 DchagFrontEnd::DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
                              Communicator& comm, const DchagOptions& opts,
                              Rng& master_rng)
-    : cfg_(cfg), comm_(&comm) {
+    : cfg_(cfg), comm_(&comm), kernels_(opts.kernels) {
   cfg_.validate();
   Rng tok_rng = master_rng.fork(0xD0C);
   tokenizer_ = std::make_unique<parallel::DistributedTokenizer>(
@@ -37,6 +37,10 @@ DchagFrontEnd::DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
 }
 
 Variable DchagFrontEnd::forward_local_partial(const Tensor& images) const {
+  // Pin the configured backend for this rank's local stage (thread-local,
+  // so concurrent ranks don't fight over the process default).
+  std::optional<tensor::KernelScope> scope;
+  if (kernels_) scope.emplace(*kernels_);
   DCHAG_CHECK(images.rank() == 4 && images.dim(1) == local_channels(),
               "DchagFrontEnd expects the rank-local channel slice [B, "
                   << local_channels() << ", H, W], got "
@@ -47,6 +51,8 @@ Variable DchagFrontEnd::forward_local_partial(const Tensor& images) const {
 }
 
 Variable DchagFrontEnd::forward(const Tensor& images) const {
+  std::optional<tensor::KernelScope> scope;
+  if (kernels_) scope.emplace(*kernels_);
   const Index B = images.dim(0);
   const Index S = cfg_.seq_len();
   const Index D = cfg_.embed_dim;
@@ -70,6 +76,8 @@ Variable DchagFrontEnd::forward(const Tensor& images) const {
 
 Variable DchagFrontEnd::forward_subset(
     const Tensor& images, std::span<const Index> channels) const {
+  std::optional<tensor::KernelScope> scope;
+  if (kernels_) scope.emplace(*kernels_);
   DCHAG_CHECK(images.rank() == 4 &&
                   images.dim(1) == static_cast<Index>(channels.size()),
               "forward_subset expects the full subset batch [B, "

@@ -16,8 +16,11 @@
 // gradients: no communication in the backward pass.
 #pragma once
 
+#include <optional>
+
 #include "model/foundation.hpp"
 #include "parallel/dist_tokenizer.hpp"
+#include "tensor/kernel_config.hpp"
 
 namespace dchag::core {
 
@@ -28,12 +31,25 @@ using parallel::Communicator;
 using tensor::Rng;
 
 struct DchagOptions {
+  DchagOptions() = default;
+  /// Keeps the pre-kernel-backend two-field brace initialisation working
+  /// (and quiet) at every existing call site.
+  DchagOptions(Index units, AggLayerKind kind,
+               std::optional<tensor::KernelConfig> kernel_cfg = std::nullopt)
+      : tree_units(units), partial_kind(kind), kernels(kernel_cfg) {}
+
   /// Paper's TreeN: number of first-level units in the partial module
   /// (0/1 = one unit over all local channels; Fig. 9's best is Tree0).
   Index tree_units = 1;
   /// -C (cross-attention) vs -L (linear) partial layers; the final shared
   /// aggregation is always cross-attention (paper §3.3).
   AggLayerKind partial_kind = AggLayerKind::kLinear;
+  /// Kernel backend pinned for this front-end's forward paths (thread-
+  /// local KernelScope). SPMD deployments typically pin kBlocked here:
+  /// the P rank threads already saturate the cores, so per-rank kernel
+  /// fan-out onto the shared pool only adds contention. Unset = inherit
+  /// the caller's / process config.
+  std::optional<tensor::KernelConfig> kernels;
 };
 
 class DchagFrontEnd : public model::FrontEnd {
@@ -93,6 +109,7 @@ class DchagFrontEnd : public model::FrontEnd {
  private:
   ModelConfig cfg_;
   Communicator* comm_;
+  std::optional<tensor::KernelConfig> kernels_;
   std::unique_ptr<parallel::DistributedTokenizer> tokenizer_;
   std::unique_ptr<model::AggregationTree> tree_;
   std::unique_ptr<model::CrossAttentionAggregator> final_;

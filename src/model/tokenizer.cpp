@@ -3,9 +3,29 @@
 #include <algorithm>
 #include <numeric>
 
+#include "tensor/dispatch.hpp"
+
 namespace dchag::model {
 
 namespace ops = tensor::ops;
+
+namespace {
+
+/// Patch extraction is pure data movement over independent (b, c) image
+/// planes — fan planes out via the shared kernel dispatch policy. The
+/// grain scales with plane size so tiny inputs stay on the fast serial
+/// path instead of paying a pool fork/join for a 2 KB copy.
+template <typename F>
+void for_each_plane(tensor::Index planes, tensor::Index plane_elems, F&& fn) {
+  const tensor::Index grain = std::max<tensor::Index>(
+      1, tensor::kDispatchGrain / std::max<tensor::Index>(1, plane_elems));
+  tensor::dispatch_range(planes, grain,
+                         [&](tensor::Index lo, tensor::Index hi) {
+                           for (tensor::Index p = lo; p < hi; ++p) fn(p);
+                         });
+}
+
+}  // namespace
 
 Tensor patchify(const Tensor& images, Index patch) {
   DCHAG_CHECK(images.rank() == 4, "patchify expects [B, C, H, W], got "
@@ -22,21 +42,19 @@ Tensor patchify(const Tensor& images, Index patch) {
   Tensor out(Shape{B, C, gh * gw, patch * patch});
   const float* src = images.data();
   float* dst = out.data();
-  for (Index b = 0; b < B; ++b) {
-    for (Index c = 0; c < C; ++c) {
-      const float* img = src + (b * C + c) * H * W;
-      float* chan = dst + (b * C + c) * gh * gw * patch * patch;
-      for (Index py = 0; py < gh; ++py) {
-        for (Index px = 0; px < gw; ++px) {
-          float* cell = chan + (py * gw + px) * patch * patch;
-          for (Index y = 0; y < patch; ++y) {
-            const float* row = img + (py * patch + y) * W + px * patch;
-            for (Index x = 0; x < patch; ++x) cell[y * patch + x] = row[x];
-          }
+  for_each_plane(B * C, H * W, [&](Index plane) {
+    const float* img = src + plane * H * W;
+    float* chan = dst + plane * gh * gw * patch * patch;
+    for (Index py = 0; py < gh; ++py) {
+      for (Index px = 0; px < gw; ++px) {
+        float* cell = chan + (py * gw + px) * patch * patch;
+        for (Index y = 0; y < patch; ++y) {
+          const float* row = img + (py * patch + y) * W + px * patch;
+          for (Index x = 0; x < patch; ++x) cell[y * patch + x] = row[x];
         }
       }
     }
-  }
+  });
   return out;
 }
 
@@ -52,21 +70,19 @@ Tensor unpatchify(const Tensor& patches, Index patch, Index h, Index w) {
   Tensor out(Shape{B, C, h, w});
   const float* src = patches.data();
   float* dst = out.data();
-  for (Index b = 0; b < B; ++b) {
-    for (Index c = 0; c < C; ++c) {
-      const float* chan = src + (b * C + c) * gh * gw * patch * patch;
-      float* img = dst + (b * C + c) * h * w;
-      for (Index py = 0; py < gh; ++py) {
-        for (Index px = 0; px < gw; ++px) {
-          const float* cell = chan + (py * gw + px) * patch * patch;
-          for (Index y = 0; y < patch; ++y) {
-            float* row = img + (py * patch + y) * w + px * patch;
-            for (Index x = 0; x < patch; ++x) row[x] = cell[y * patch + x];
-          }
+  for_each_plane(B * C, h * w, [&](Index plane) {
+    const float* chan = src + plane * gh * gw * patch * patch;
+    float* img = dst + plane * h * w;
+    for (Index py = 0; py < gh; ++py) {
+      for (Index px = 0; px < gw; ++px) {
+        const float* cell = chan + (py * gw + px) * patch * patch;
+        for (Index y = 0; y < patch; ++y) {
+          float* row = img + (py * patch + y) * w + px * patch;
+          for (Index x = 0; x < patch; ++x) row[x] = cell[y * patch + x];
         }
       }
     }
-  }
+  });
   return out;
 }
 

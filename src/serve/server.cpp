@@ -59,6 +59,9 @@ void Server::worker_loop() {
   // Serving is tape-free for the whole worker thread; every forward under
   // this guard allocates zero autograd nodes.
   autograd::NoGradGuard no_grad;
+  // Per-worker kernel backend (thread-local): see ServerConfig::kernels.
+  std::optional<tensor::KernelScope> kernels;
+  if (cfg_.kernels) kernels.emplace(*cfg_.kernels);
   while (std::optional<Batch> batch = batcher_.pop()) {
     execute(std::move(*batch));
   }

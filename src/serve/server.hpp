@@ -8,12 +8,14 @@
 // futures and the worker keeps serving.
 #pragma once
 
+#include <optional>
 #include <thread>
 #include <vector>
 
 #include "serve/batcher.hpp"
 #include "serve/engine.hpp"
 #include "serve/metrics.hpp"
+#include "tensor/kernel_config.hpp"
 
 namespace dchag::serve {
 
@@ -23,6 +25,19 @@ struct ServerConfig {
   /// SpmdEngine serializes internally).
   int num_workers = 1;
   BatcherConfig batcher;
+  /// Kernel backend pinned per worker thread (thread-local KernelScope in
+  /// worker_loop). Workers never get private pools: on the parallel
+  /// backend all of them fan out onto the one process-wide ThreadPool,
+  /// whose lane count stays DCHAG_THREADS no matter how many workers run
+  /// — batches queue instead of oversubscribing cores. A many-worker
+  /// latency-oriented server typically pins kBlocked here so each worker
+  /// stays on its own core. Unset = inherit the process config.
+  ///
+  /// Scope caveat: the override lives on the WORKER thread, so it only
+  /// reaches engines that compute there (the single-device Engine). An
+  /// SpmdEngine forwards on its own rank threads — pin its backend via
+  /// DchagOptions::kernels in the rank-model factory instead.
+  std::optional<tensor::KernelConfig> kernels;
 };
 
 class Server {

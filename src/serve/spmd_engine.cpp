@@ -11,7 +11,10 @@ SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory)
       comm::World world(ranks_);
       world.run([&](comm::Communicator& comm) {
         // Tape-free for the lifetime of this rank thread: serving never
-        // records autograd history.
+        // records autograd history. Kernel backend policy belongs to the
+        // factory: build the front-end with DchagOptions::kernels =
+        // kBlocked so P concurrent ranks don't contend for the shared
+        // ThreadPool (they ARE the parallelism).
         autograd::NoGradGuard no_grad;
         std::unique_ptr<model::ForecastModel> model;
         try {

@@ -1,0 +1,157 @@
+#include "tensor/gemm.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <vector>
+
+#if defined(DCHAG_GEMM_AVX2)
+#include <immintrin.h>
+#endif
+
+namespace dchag::tensor::gemm {
+
+namespace {
+
+// Tile sizes chosen for ~2 MB L2 parts: the packed B panel (KC x NC =
+// 512 KB) and A panel (MC x KC = 120 KB) stay resident across the macro
+// kernel. MC is a multiple of MR, NC a multiple of NR.
+constexpr Index kMR = 6;
+constexpr Index kNR = 16;
+constexpr Index kMC = 120;
+constexpr Index kKC = 256;
+constexpr Index kNC = 512;
+
+/// Packs A[i0:i0+mc, p0:p0+kc] into MR-row panels, k-major inside each
+/// panel (a[k*MR + i]); rows past `mc` are zero so the micro-kernel never
+/// branches on the M edge.
+void pack_a(const float* A, Index lda, Index mc, Index kc, float* out) {
+  for (Index i = 0; i < mc; i += kMR) {
+    const Index mr = std::min(kMR, mc - i);
+    for (Index k = 0; k < kc; ++k) {
+      for (Index r = 0; r < mr; ++r) out[k * kMR + r] = A[(i + r) * lda + k];
+      for (Index r = mr; r < kMR; ++r) out[k * kMR + r] = 0.0f;
+    }
+    out += kKC * kMR;
+  }
+}
+
+/// Packs B[p0:p0+kc, j0:j0+nc] into NR-column panels (b[k*NR + j]);
+/// columns past `nc` are zero.
+void pack_b(const float* B, Index ldb, Index kc, Index nc, float* out) {
+  for (Index j = 0; j < nc; j += kNR) {
+    const Index nr = std::min(kNR, nc - j);
+    for (Index k = 0; k < kc; ++k) {
+      const float* row = B + k * ldb + j;
+      for (Index c = 0; c < nr; ++c) out[k * kNR + c] = row[c];
+      for (Index c = nr; c < kNR; ++c) out[k * kNR + c] = 0.0f;
+    }
+    out += kKC * kNR;
+  }
+}
+
+/// MR x NR register tile over one KC slice of packed panels; writes back
+/// only the mr x nr valid corner. Per-element accumulation is strictly
+/// k-ordered in both variants, which is what keeps the blocked and
+/// parallel backends bit-identical.
+#if defined(DCHAG_GEMM_AVX2)
+void micro_kernel(Index kc, const float* a, const float* b, float* C,
+                  Index ldc, Index mr, Index nr) {
+  // 6 rows x 16 columns = 12 ymm accumulators; 2 loads + 6 broadcasts +
+  // 12 FMAs per k.
+  __m256 acc[kMR][2];
+  for (Index i = 0; i < kMR; ++i) {
+    acc[i][0] = _mm256_setzero_ps();
+    acc[i][1] = _mm256_setzero_ps();
+  }
+  for (Index k = 0; k < kc; ++k) {
+    const __m256 b0 = _mm256_loadu_ps(b + k * kNR);
+    const __m256 b1 = _mm256_loadu_ps(b + k * kNR + 8);
+    const float* ak = a + k * kMR;
+    for (Index i = 0; i < kMR; ++i) {
+      const __m256 av = _mm256_broadcast_ss(ak + i);
+      acc[i][0] = _mm256_fmadd_ps(av, b0, acc[i][0]);
+      acc[i][1] = _mm256_fmadd_ps(av, b1, acc[i][1]);
+    }
+  }
+  if (mr == kMR && nr == kNR) {
+    for (Index i = 0; i < kMR; ++i) {
+      float* crow = C + i * ldc;
+      _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), acc[i][0]));
+      _mm256_storeu_ps(crow + 8,
+                       _mm256_add_ps(_mm256_loadu_ps(crow + 8), acc[i][1]));
+    }
+  } else {
+    alignas(32) float buf[kMR][kNR];
+    for (Index i = 0; i < kMR; ++i) {
+      _mm256_store_ps(buf[i], acc[i][0]);
+      _mm256_store_ps(buf[i] + 8, acc[i][1]);
+    }
+    for (Index i = 0; i < mr; ++i) {
+      float* crow = C + i * ldc;
+      for (Index j = 0; j < nr; ++j) crow[j] += buf[i][j];
+    }
+  }
+}
+#else
+void micro_kernel(Index kc, const float* a, const float* b, float* C,
+                  Index ldc, Index mr, Index nr) {
+  float acc[kMR][kNR] = {};
+  for (Index k = 0; k < kc; ++k) {
+    const float* bk = b + k * kNR;
+    const float* ak = a + k * kMR;
+    for (Index i = 0; i < kMR; ++i) {
+      const float av = ak[i];
+      for (Index j = 0; j < kNR; ++j) acc[i][j] += av * bk[j];
+    }
+  }
+  for (Index i = 0; i < mr; ++i) {
+    float* crow = C + i * ldc;
+    for (Index j = 0; j < nr; ++j) crow[j] += acc[i][j];
+  }
+}
+#endif
+
+}  // namespace
+
+void gemm_blocked(Index M, Index N, Index K, const float* A, Index lda,
+                  const float* B, Index ldb, float* C, Index ldc) {
+  if (M <= 0 || N <= 0 || K <= 0) return;
+  // Packing scratch is reused across calls per thread (~632 KB once per
+  // lane): small matmuls — attention's many [N, dh] panels — would
+  // otherwise spend as long in the allocator as in the micro-kernel.
+  static thread_local std::vector<float> packed_a(
+      static_cast<std::size_t>(kMC * kKC));
+  static thread_local std::vector<float> packed_b(
+      static_cast<std::size_t>(kKC * kNC));
+  for (Index jc = 0; jc < N; jc += kNC) {
+    const Index nc = std::min(kNC, N - jc);
+    for (Index pc = 0; pc < K; pc += kKC) {
+      const Index kc = std::min(kKC, K - pc);
+      pack_b(B + pc * ldb + jc, ldb, kc, nc, packed_b.data());
+      for (Index ic = 0; ic < M; ic += kMC) {
+        const Index mc = std::min(kMC, M - ic);
+        pack_a(A + ic * lda + pc, lda, mc, kc, packed_a.data());
+        for (Index jr = 0; jr < nc; jr += kNR) {
+          const Index nr = std::min(kNR, nc - jr);
+          const float* bp = packed_b.data() + (jr / kNR) * kKC * kNR;
+          for (Index ir = 0; ir < mc; ir += kMR) {
+            const Index mr = std::min(kMR, mc - ir);
+            const float* ap = packed_a.data() + (ir / kMR) * kKC * kMR;
+            micro_kernel(kc, ap, bp, C + (ic + ir) * ldc + jc + jr, ldc, mr,
+                         nr);
+          }
+        }
+      }
+    }
+  }
+}
+
+bool compiled_with_avx2() {
+#if defined(DCHAG_GEMM_AVX2)
+  return true;
+#else
+  return false;
+#endif
+}
+
+}  // namespace dchag::tensor::gemm

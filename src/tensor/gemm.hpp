@@ -1,0 +1,27 @@
+// Cache-blocked single-precision GEMM: C += A * B on row-major buffers.
+// BLIS-style loop structure — NC/KC/MC tiling with A packed into MR-row
+// panels and B into NR-column panels, finished by an MR x NR register
+// micro-kernel. This translation unit alone is compiled with AVX2+FMA
+// when the toolchain supports it (see src/tensor/CMakeLists.txt);
+// kernel_config.cpp gates dispatch on a runtime CPUID check so a binary
+// built that way still runs (naive backend) on older x86-64.
+//
+// Determinism contract: for a fixed (M, N, K) the accumulation order of
+// every C element is fixed — independent of how callers partition rows
+// across threads — so the blocked and parallel backends are bit-identical.
+#pragma once
+
+#include "tensor/shape.hpp"
+
+namespace dchag::tensor::gemm {
+
+/// C[M,N] += A[M,K] * B[K,N]; lda/ldb/ldc are row strides. Callers hand
+/// in zeroed C for a plain product. Safe for any sizes >= 0, including
+/// empty dimensions and shapes far from the tile sizes.
+void gemm_blocked(Index M, Index N, Index K, const float* A, Index lda,
+                  const float* B, Index ldb, float* C, Index ldc);
+
+/// True when this TU was built with AVX2/FMA codegen (x86-64 only).
+[[nodiscard]] bool compiled_with_avx2();
+
+}  // namespace dchag::tensor::gemm

@@ -1,0 +1,74 @@
+// Runtime-dispatched kernel backend selection. Every hot tensor kernel
+// (ops.cpp) consults kernel_config() and picks one of three
+// implementations:
+//
+//   kNaive    — the original scalar triple-loop kernels. Kept forever as
+//               the bit-exactness oracle for parity tests.
+//   kBlocked  — cache-blocked single-threaded kernels (MC/KC/NC tiled
+//               matmul with a packed micro-kernel; gemm.cpp).
+//   kParallel — kBlocked plus ThreadPool::parallel_for fan-out. Produces
+//               bit-identical results to kBlocked at any thread count.
+//
+// Process defaults come from the environment:
+//   DCHAG_KERNEL  = naive | blocked | parallel   (default: parallel)
+//   DCHAG_THREADS = total lanes incl. the caller (default: hw concurrency)
+//
+// set_kernel_config() changes the process default; KernelScope overrides
+// it for the current thread only (RAII), which is how serve workers and
+// SPMD rank threads pin a backend without racing each other.
+#pragma once
+
+#include <string>
+
+#include "tensor/shape.hpp"
+
+namespace dchag::tensor {
+
+enum class KernelBackend { kNaive, kBlocked, kParallel };
+
+struct KernelConfig {
+  KernelBackend backend = KernelBackend::kParallel;
+  /// Max lanes a single parallel_for of this scope may occupy (caller
+  /// included). 0 = whole pool. Does not resize the process pool.
+  int threads = 0;
+};
+
+/// Effective config for the calling thread: innermost KernelScope if one
+/// is active, else the process default (env-initialised on first use).
+[[nodiscard]] KernelConfig kernel_config();
+
+/// Replaces the process default (not thread-local overrides).
+void set_kernel_config(KernelConfig cfg);
+
+/// Thread-local backend override, e.g. one serve worker pinning kBlocked
+/// while other workers keep the process default. Nestable.
+class KernelScope {
+ public:
+  explicit KernelScope(KernelConfig cfg);
+  ~KernelScope();
+  KernelScope(const KernelScope&) = delete;
+  KernelScope& operator=(const KernelScope&) = delete;
+
+ private:
+  KernelConfig prev_;
+  bool had_prev_;
+};
+
+/// "naive" | "blocked" | "parallel" -> backend; throws on anything else.
+[[nodiscard]] KernelBackend parse_backend(const std::string& name);
+[[nodiscard]] const char* to_string(KernelBackend b);
+
+namespace detail {
+/// Shared bounded env-int parse (DCHAG_THREADS etc.): returns `fallback`
+/// unless the variable is a bare integer in [lo, hi]. One definition so
+/// pool sizing and KernelConfig can never disagree about the same var.
+[[nodiscard]] int env_int(const char* name, int lo, int hi, int fallback);
+}  // namespace detail
+
+/// False when gemm.cpp was compiled with SIMD flags this CPU lacks.
+/// Every request for blocked/parallel (env, set_kernel_config,
+/// KernelScope) then degrades to kNaive with a one-time stderr warning —
+/// never a fault, never an exception, so exotic hosts still run.
+[[nodiscard]] bool blocked_kernels_supported();
+
+}  // namespace dchag::tensor

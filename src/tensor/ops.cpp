@@ -5,11 +5,19 @@
 #include <cstring>
 #include <functional>
 
+#include "tensor/dispatch.hpp"
+#include "tensor/gemm.hpp"
+
 namespace dchag::tensor::ops {
 
 namespace {
 
 std::atomic<std::uint64_t> g_flops{0};
+
+/// Minimum elements per chunk for elementwise/reduction fan-out; ranges
+/// below 2x this run serial even on the parallel backend (fork/join would
+/// cost more than the loop).
+constexpr Index kEwGrain = kDispatchGrain;
 
 /// Right-aligned broadcast strides: pad `s` to rank `out_rank` and zero the
 /// stride of every broadcast dimension.
@@ -54,8 +62,9 @@ Tensor binary_op(const Tensor& a, const Tensor& b, F&& f) {
     const float* pa = a.data();
     const float* pb = b.data();
     float* po = out.data();
-    const Index n = a.numel();
-    for (Index i = 0; i < n; ++i) po[i] = f(pa[i], pb[i]);
+    dispatch_range(a.numel(), kEwGrain, [&](Index lo, Index hi) {
+      for (Index i = lo; i < hi; ++i) po[i] = f(pa[i], pb[i]);
+    });
     return out;
   }
   const Shape out_shape = broadcast_shape(a.shape(), b.shape());
@@ -92,8 +101,9 @@ Tensor unary_op(const Tensor& a, F&& f) {
   Tensor out(a.shape());
   const float* pa = a.data();
   float* po = out.data();
-  const Index n = a.numel();
-  for (Index i = 0; i < n; ++i) po[i] = f(pa[i]);
+  dispatch_range(a.numel(), kEwGrain, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) po[i] = f(pa[i]);
+  });
   return out;
 }
 
@@ -187,18 +197,46 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* po = out.data();
-  for (Index bi = 0; bi < batch; ++bi) {
-    const float* A = pa + bi * M * K;
-    const float* B = pb + (shared_b ? 0 : bi * K * N);
-    float* C = po + bi * M * N;
-    for (Index i = 0; i < M; ++i) {
-      float* crow = C + i * N;
-      for (Index k = 0; k < K; ++k) {
-        const float av = A[i * K + k];
-        if (av == 0.0f) continue;
-        const float* brow = B + k * N;
-        for (Index j = 0; j < N; ++j) crow[j] += av * brow[j];
+  const KernelConfig cfg = kernel_config();
+  if (cfg.backend == KernelBackend::kNaive) {
+    for (Index bi = 0; bi < batch; ++bi) {
+      const float* A = pa + bi * M * K;
+      const float* B = pb + (shared_b ? 0 : bi * K * N);
+      float* C = po + bi * M * N;
+      for (Index i = 0; i < M; ++i) {
+        float* crow = C + i * N;
+        for (Index k = 0; k < K; ++k) {
+          const float av = A[i * K + k];
+          if (av == 0.0f) continue;
+          const float* brow = B + k * N;
+          for (Index j = 0; j < N; ++j) crow[j] += av * brow[j];
+        }
       }
+    }
+  } else {
+    // Blocked GEMM over row strips of the flattened [batch*M] row space.
+    // Strip boundaries never change any C element's accumulation order,
+    // so kBlocked and kParallel are bit-identical at every lane count.
+    auto run_rows = [&](Index r0, Index r1) {
+      while (r0 < r1) {
+        const Index bi = r0 / M;
+        const Index i0 = r0 - bi * M;
+        const Index rows = std::min(r1 - r0, M - i0);
+        gemm::gemm_blocked(rows, N, K, pa + (bi * M + i0) * K, K,
+                           pb + (shared_b ? 0 : bi * K * N), N,
+                           po + (bi * M + i0) * N, N);
+        r0 += rows;
+      }
+    };
+    // Aim for strips of >= ~1 MFLOP so fork/join stays in the noise.
+    const Index flops_per_row = 2 * N * K;
+    const Index grain =
+        std::max<Index>(1, (1 << 20) / std::max<Index>(1, flops_per_row));
+    if (cfg.backend == KernelBackend::kParallel) {
+      ThreadPool::global().parallel_for(batch * M, grain, run_rows,
+                                        cfg.threads);
+    } else {
+      run_rows(0, batch * M);
     }
   }
   g_flops.fetch_add(
@@ -260,19 +298,22 @@ Tensor softmax_lastdim(const Tensor& a) {
   Tensor out(a.shape());
   const float* p = a.data();
   float* o = out.data();
-  for (Index r = 0; r < rows; ++r) {
-    const float* row = p + r * D;
-    float* orow = o + r * D;
-    float mx = row[0];
-    for (Index j = 1; j < D; ++j) mx = std::max(mx, row[j]);
-    float sum = 0.0f;
-    for (Index j = 0; j < D; ++j) {
-      orow[j] = std::exp(row[j] - mx);
-      sum += orow[j];
-    }
-    const float inv = 1.0f / sum;
-    for (Index j = 0; j < D; ++j) orow[j] *= inv;
-  }
+  dispatch_range(rows, std::max<Index>(1, kEwGrain / std::max<Index>(1, D)),
+                 [&](Index lo, Index hi) {
+                   for (Index r = lo; r < hi; ++r) {
+                     const float* row = p + r * D;
+                     float* orow = o + r * D;
+                     float mx = row[0];
+                     for (Index j = 1; j < D; ++j) mx = std::max(mx, row[j]);
+                     float sum = 0.0f;
+                     for (Index j = 0; j < D; ++j) {
+                       orow[j] = std::exp(row[j] - mx);
+                       sum += orow[j];
+                     }
+                     const float inv = 1.0f / sum;
+                     for (Index j = 0; j < D; ++j) orow[j] *= inv;
+                   }
+                 });
   return out;
 }
 
@@ -319,23 +360,28 @@ LayerNormResult layernorm(const Tensor& a, const Tensor& gamma,
   float* y = r.y.data();
   float* mean = r.mean.data();
   float* rstd = r.rstd.data();
-  for (Index i = 0; i < rows; ++i) {
-    const float* row = p + i * D;
-    float m = 0.0f;
-    for (Index j = 0; j < D; ++j) m += row[j];
-    m /= static_cast<float>(D);
-    float v = 0.0f;
-    for (Index j = 0; j < D; ++j) {
-      const float d = row[j] - m;
-      v += d * d;
-    }
-    v /= static_cast<float>(D);
-    const float rs = 1.0f / std::sqrt(v + eps);
-    mean[i] = m;
-    rstd[i] = rs;
-    float* yrow = y + i * D;
-    for (Index j = 0; j < D; ++j) yrow[j] = (row[j] - m) * rs * g[j] + b[j];
-  }
+  dispatch_range(
+      rows, std::max<Index>(1, kEwGrain / std::max<Index>(1, D)),
+      [&](Index lo, Index hi) {
+        for (Index i = lo; i < hi; ++i) {
+          const float* row = p + i * D;
+          float m = 0.0f;
+          for (Index j = 0; j < D; ++j) m += row[j];
+          m /= static_cast<float>(D);
+          float v = 0.0f;
+          for (Index j = 0; j < D; ++j) {
+            const float d = row[j] - m;
+            v += d * d;
+          }
+          v /= static_cast<float>(D);
+          const float rs = 1.0f / std::sqrt(v + eps);
+          mean[i] = m;
+          rstd[i] = rs;
+          float* yrow = y + i * D;
+          for (Index j = 0; j < D; ++j)
+            yrow[j] = (row[j] - m) * rs * g[j] + b[j];
+        }
+      });
   return r;
 }
 
@@ -437,13 +483,35 @@ Tensor sum_dim(const Tensor& a, Index dim) {
   const Index inner = a.shape().stride(d);
   const float* p = a.data();
   float* po = out.data();
-  for (Index i = 0; i < outer; ++i) {
-    const float* blk = p + i * nd * inner;
-    float* orow = po + i * inner;
-    for (Index k = 0; k < nd; ++k) {
-      const float* srow = blk + k * inner;
-      for (Index j = 0; j < inner; ++j) orow[j] += srow[j];
-    }
+  // Fan out over whichever loop is actually wide: `outer` collapses to 1
+  // for dim-0 reductions (the broadcast-gradient case), so split the
+  // inner (kept-column) range instead there. Either split preserves each
+  // output element's k-ascending accumulation order.
+  const Index outer_grain =
+      std::max<Index>(1, kEwGrain / std::max<Index>(1, nd * inner));
+  if (outer >= 2 * outer_grain) {
+    dispatch_range(outer, outer_grain, [&](Index lo, Index hi) {
+      for (Index i = lo; i < hi; ++i) {
+        const float* blk = p + i * nd * inner;
+        float* orow = po + i * inner;
+        for (Index k = 0; k < nd; ++k) {
+          const float* srow = blk + k * inner;
+          for (Index j = 0; j < inner; ++j) orow[j] += srow[j];
+        }
+      }
+    });
+  } else {
+    const Index col_grain = std::max<Index>(1, kEwGrain / std::max<Index>(1, nd));
+    dispatch_range(inner, col_grain, [&](Index jlo, Index jhi) {
+      for (Index i = 0; i < outer; ++i) {
+        const float* blk = p + i * nd * inner;
+        float* orow = po + i * inner;
+        for (Index k = 0; k < nd; ++k) {
+          const float* srow = blk + k * inner;
+          for (Index j = jlo; j < jhi; ++j) orow[j] += srow[j];
+        }
+      }
+    });
   }
   return out;
 }

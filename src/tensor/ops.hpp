@@ -3,6 +3,10 @@
 // right-aligned broadcasting. A process-wide FLOP ledger instruments every
 // matmul so the analytic hw::FlopModel can be validated against executed
 // kernels (tests/hw/flop_model_test.cpp).
+//
+// matmul, the elementwise/broadcast fast paths, softmax, layernorm, and
+// sum_dim dispatch on kernel_config() (naive | blocked | parallel); see
+// tensor/kernel_config.hpp for the backend contract and env knobs.
 #pragma once
 
 #include <atomic>

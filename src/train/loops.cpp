@@ -10,6 +10,8 @@ using tensor::Tensor;
 TrainCurve train_mae(
     model::MaeModel& mae, const LoopConfig& cfg,
     const std::function<Tensor(Index)>& next_batch) {
+  std::optional<tensor::KernelScope> kernels;
+  if (cfg.kernels) kernels.emplace(*cfg.kernels);
   Adam opt(mae.parameters(), cfg.adam);
   TrainCurve curve;
   curve.losses.reserve(static_cast<std::size_t>(cfg.steps));
@@ -34,6 +36,8 @@ TrainCurve train_mae(
 TrainCurve train_forecast(
     model::ForecastModel& fm, const LoopConfig& cfg,
     const std::function<std::pair<Tensor, Tensor>(Index)>& next_pair) {
+  std::optional<tensor::KernelScope> kernels;
+  if (cfg.kernels) kernels.emplace(*cfg.kernels);
   Adam opt(fm.parameters(), cfg.adam);
   TrainCurve curve;
   curve.losses.reserve(static_cast<std::size_t>(cfg.steps));

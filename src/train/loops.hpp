@@ -6,9 +6,11 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <vector>
 
 #include "model/foundation.hpp"
+#include "tensor/kernel_config.hpp"
 #include "train/optim.hpp"
 
 namespace dchag::train {
@@ -19,6 +21,11 @@ struct LoopConfig {
   float mask_ratio = 0.75f;  // MAE only
   AdamConfig adam{};
   std::uint64_t data_seed = 1234;
+  /// Kernel backend pinned for the whole loop (thread-local KernelScope
+  /// on the calling thread). SPMD rank threads pass kBlocked so P ranks
+  /// training side by side don't contend for the shared pool; a
+  /// single-process run keeps the parallel default. Unset = inherit.
+  std::optional<tensor::KernelConfig> kernels;
 };
 
 struct TrainCurve {

@@ -1,0 +1,184 @@
+// ThreadPool contract: correct partitioning at any lane count, inline
+// fallbacks (tiny ranges, zero workers, nesting), exception propagation,
+// and safety under concurrent submission from many external threads —
+// the exact pattern serve workers and SPMD ranks produce in production.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <mutex>
+#include <numeric>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "tensor/thread_pool.hpp"
+
+namespace dchag::tensor {
+namespace {
+
+std::vector<float> iota(Index n) {
+  std::vector<float> v(static_cast<std::size_t>(n));
+  std::iota(v.begin(), v.end(), 0.0f);
+  return v;
+}
+
+TEST(ThreadPool, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(3);
+  const Index n = 100000;
+  std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+  pool.parallel_for(n, 64, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i)
+      hits[static_cast<std::size_t>(i)].fetch_add(1);
+  });
+  for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, MatchesSerialSum) {
+  ThreadPool pool(4);
+  const Index n = 250000;
+  std::vector<float> data = iota(n);
+  std::vector<double> partial(static_cast<std::size_t>(n), 0.0);
+  pool.parallel_for(n, 1024, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i)
+      partial[static_cast<std::size_t>(i)] =
+          2.0 * data[static_cast<std::size_t>(i)];
+  });
+  const double got = std::accumulate(partial.begin(), partial.end(), 0.0);
+  const double want = static_cast<double>(n - 1) * n;  // 2 * sum(0..n-1)
+  EXPECT_DOUBLE_EQ(got, want);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+  EXPECT_EQ(pool.lanes(), 1);
+  Index calls = 0;
+  std::thread::id tid;
+  pool.parallel_for(1000, 10, [&](Index lo, Index hi) {
+    ++calls;
+    tid = std::this_thread::get_id();
+    EXPECT_EQ(lo, 0);
+    EXPECT_EQ(hi, 1000);
+  });
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(tid, std::this_thread::get_id());
+}
+
+TEST(ThreadPool, TinyRangeStaysInlineAndEmptyRangeIsNoop) {
+  ThreadPool pool(4);
+  Index calls = 0;
+  pool.parallel_for(5, 100, [&](Index, Index) { ++calls; });  // < 2 chunks
+  EXPECT_EQ(calls, 1);
+  pool.parallel_for(0, 1, [&](Index, Index) { ++calls; });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(ThreadPool, ChunkRangesAreAlwaysValidWhenLanesExceedDivisibility) {
+  // 9 items over 8 lanes: ceil(9/8)=2-wide chunks must yield 5 chunks,
+  // never a trailing fn(10, 9) inverted range.
+  ThreadPool pool(7);
+  std::mutex mu;
+  std::vector<std::pair<Index, Index>> ranges;
+  pool.parallel_for(9, 1, [&](Index lo, Index hi) {
+    std::lock_guard<std::mutex> lock(mu);
+    ranges.emplace_back(lo, hi);
+  });
+  Index covered = 0;
+  for (const auto& [lo, hi] : ranges) {
+    EXPECT_LT(lo, hi);
+    EXPECT_LE(hi, 9);
+    covered += hi - lo;
+  }
+  EXPECT_EQ(covered, 9);
+}
+
+TEST(ThreadPool, MaxLanesCapsFanout) {
+  ThreadPool pool(7);
+  std::atomic<int> chunks{0};
+  pool.parallel_for(
+      1 << 20, 1, [&](Index, Index) { chunks.fetch_add(1); },
+      /*max_lanes=*/2);
+  EXPECT_EQ(chunks.load(), 2);
+}
+
+TEST(ThreadPool, NestedParallelForRunsInlineWithoutDeadlock) {
+  ThreadPool pool(2);
+  std::atomic<Index> total{0};
+  pool.parallel_for(64, 1, [&](Index lo, Index hi) {
+    for (Index i = lo; i < hi; ++i) {
+      // Inner call from inside a chunk: must run inline on this thread,
+      // not re-enter the pool (classic self-join deadlock otherwise).
+      EXPECT_TRUE(ThreadPool::in_parallel_region());
+      pool.parallel_for(100, 1, [&](Index ilo, Index ihi) {
+        total.fetch_add(ihi - ilo);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 6400);
+}
+
+TEST(ThreadPool, ExceptionPropagatesToCaller) {
+  ThreadPool pool(3);
+  EXPECT_THROW(
+      pool.parallel_for(10000, 16,
+                        [&](Index lo, Index) {
+                          if (lo == 0) throw std::runtime_error("chunk 0");
+                        }),
+      std::runtime_error);
+  // The pool must survive a throwing job and keep serving.
+  std::atomic<Index> n{0};
+  pool.parallel_for(10000, 16,
+                    [&](Index lo, Index hi) { n.fetch_add(hi - lo); });
+  EXPECT_EQ(n.load(), 10000);
+}
+
+TEST(ThreadPool, ConcurrentSubmissionFromManyThreads) {
+  // Several external threads fan out on ONE shared pool at once — the
+  // serve worker / SPMD rank pattern. Each submission must see exactly
+  // its own range, and nothing may deadlock or double-run.
+  ThreadPool pool(3);
+  constexpr int kSubmitters = 6;
+  std::vector<double> sums(kSubmitters, 0.0);
+  std::vector<std::thread> threads;
+  threads.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    threads.emplace_back([&, t] {
+      const Index n = 40000 + 1000 * t;
+      std::vector<std::atomic<int>> hits(static_cast<std::size_t>(n));
+      for (int rep = 0; rep < 10; ++rep) {
+        for (auto& h : hits) h.store(0);
+        pool.parallel_for(n, 256, [&](Index lo, Index hi) {
+          for (Index i = lo; i < hi; ++i)
+            hits[static_cast<std::size_t>(i)].fetch_add(1);
+        });
+        for (const auto& h : hits) ASSERT_EQ(h.load(), 1);
+      }
+      sums[static_cast<std::size_t>(t)] = static_cast<double>(n);
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kSubmitters; ++t)
+    EXPECT_EQ(sums[static_cast<std::size_t>(t)], 40000.0 + 1000.0 * t);
+}
+
+TEST(ThreadPool, StressManySmallJobs) {
+  ThreadPool pool(2);
+  std::atomic<Index> total{0};
+  for (int rep = 0; rep < 2000; ++rep) {
+    pool.parallel_for(64, 8,
+                      [&](Index lo, Index hi) { total.fetch_add(hi - lo); });
+  }
+  EXPECT_EQ(total.load(), 2000 * 64);
+}
+
+TEST(ThreadPool, GlobalPoolSingletonIsUsable) {
+  ThreadPool& g = ThreadPool::global();
+  EXPECT_GE(g.lanes(), 1);
+  std::atomic<Index> n{0};
+  g.parallel_for(5000, 100,
+                 [&](Index lo, Index hi) { n.fetch_add(hi - lo); });
+  EXPECT_EQ(n.load(), 5000);
+}
+
+}  // namespace
+}  // namespace dchag::tensor
