@@ -1,8 +1,11 @@
 #include "comm/communicator.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
 #include <thread>
+
+#include "comm/fault.hpp"
 
 namespace dchag::comm {
 
@@ -32,13 +35,19 @@ constexpr std::uint64_t bytes_of_count(std::size_t n) {
   return static_cast<std::uint64_t>(n) * sizeof(float);
 }
 
+void sleep_us(std::uint64_t us) {
+  if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
+}
+
 }  // namespace
 
 namespace detail {
 
-GroupState::GroupState(int size_in, Topology topo)
+GroupState::GroupState(int size_in, Topology topo,
+                       std::shared_ptr<const FaultPlan> plan)
     : size(size_in),
       topology(std::move(topo)),
+      fault_plan(std::move(plan)),
       send_slots(static_cast<std::size_t>(size_in), nullptr),
       recv_slots(static_cast<std::size_t>(size_in), nullptr),
       count_slots(static_cast<std::size_t>(size_in), 0),
@@ -70,9 +79,27 @@ void reduce_into(std::span<float> dst, std::span<const float> src,
   }
 }
 
+void Communicator::inject_entry_faults(CollectiveKind kind) {
+  const FaultPlan* plan = state_->fault_plan.get();
+  if (!plan) return;
+  const FaultPlan::Injection inj = plan->draw(rank_, kind, fault_seq_++);
+  // Dropped contribution: each resend attempt costs one backoff window.
+  sleep_us(static_cast<std::uint64_t>(inj.drops) * inj.retry_backoff_us);
+  sleep_us(inj.pre_delay_us);
+  pending_exit_jitter_us_ = inj.post_jitter_us;
+}
+
+void Communicator::inject_exit_faults(CollectiveKind) {
+  if (!state_->fault_plan) return;
+  sleep_us(pending_exit_jitter_us_);
+  pending_exit_jitter_us_ = 0;
+}
+
 void Communicator::barrier() {
   stats_.record(CollectiveKind::kBarrier, 0);
+  inject_entry_faults(CollectiveKind::kBarrier);
   state_->barrier.arrive_and_wait();
+  inject_exit_faults(CollectiveKind::kBarrier);
 }
 
 // ----- AllReduce -------------------------------------------------------------
@@ -80,8 +107,11 @@ void Communicator::barrier() {
 void Communicator::all_reduce(std::span<float> data, ReduceOp op,
                               Algorithm alg) {
   stats_.record(CollectiveKind::kAllReduce, bytes_of_count(data.size()));
-  if (size() == 1) {
-    if (op == ReduceOp::kAvg) { /* average of one value is itself */ }
+  inject_entry_faults(CollectiveKind::kAllReduce);
+  // Zero elements / one rank: nothing moves. Sizes must match across ranks
+  // (usage contract), so every rank takes this exit symmetrically.
+  if (size() == 1 || data.empty()) {
+    inject_exit_faults(CollectiveKind::kAllReduce);
     return;
   }
   switch (alg) {
@@ -100,6 +130,7 @@ void Communicator::all_reduce(std::span<float> data, ReduceOp op,
     const float inv = 1.0f / static_cast<float>(size());
     for (float& x : data) x *= inv;
   }
+  inject_exit_faults(CollectiveKind::kAllReduce);
 }
 
 void Communicator::all_reduce_direct(std::span<float> data, ReduceOp op) {
@@ -220,8 +251,10 @@ void Communicator::all_gather(std::span<const float> send,
               "all_gather: recv size " << recv.size() << " != send "
                                        << send.size() << " * " << size());
   stats_.record(CollectiveKind::kAllGather, bytes_of_count(recv.size()));
-  if (size() == 1) {
+  inject_entry_faults(CollectiveKind::kAllGather);
+  if (size() == 1 || send.empty()) {
     std::copy(send.begin(), send.end(), recv.begin());
+    inject_exit_faults(CollectiveKind::kAllGather);
     return;
   }
   switch (alg) {
@@ -234,6 +267,7 @@ void Communicator::all_gather(std::span<const float> send,
       all_gather_ring(send, recv);
       break;
   }
+  inject_exit_faults(CollectiveKind::kAllGather);
 }
 
 void Communicator::all_gather_direct(std::span<const float> send,
@@ -284,8 +318,10 @@ void Communicator::reduce_scatter(std::span<const float> send,
               "reduce_scatter: send size " << send.size() << " != recv "
                                            << recv.size() << " * " << size());
   stats_.record(CollectiveKind::kReduceScatter, bytes_of_count(send.size()));
-  if (size() == 1) {
+  inject_entry_faults(CollectiveKind::kReduceScatter);
+  if (size() == 1 || recv.empty()) {
     std::copy(send.begin(), send.end(), recv.begin());
+    inject_exit_faults(CollectiveKind::kReduceScatter);
     return;
   }
   switch (alg) {
@@ -302,6 +338,7 @@ void Communicator::reduce_scatter(std::span<const float> send,
     const float inv = 1.0f / static_cast<float>(size());
     for (float& x : recv) x *= inv;
   }
+  inject_exit_faults(CollectiveKind::kReduceScatter);
 }
 
 void Communicator::reduce_scatter_direct(std::span<const float> send,
@@ -352,7 +389,11 @@ void Communicator::reduce_scatter_ring(std::span<const float> send,
 void Communicator::broadcast(std::span<float> data, int root) {
   DCHAG_CHECK(root >= 0 && root < size(), "broadcast root " << root);
   stats_.record(CollectiveKind::kBroadcast, bytes_of_count(data.size()));
-  if (size() == 1) return;
+  inject_entry_faults(CollectiveKind::kBroadcast);
+  if (size() == 1 || data.empty()) {
+    inject_exit_faults(CollectiveKind::kBroadcast);
+    return;
+  }
   auto& st = *state_;
   if (rank_ == root)
     st.send_slots[static_cast<std::size_t>(rank_)] = data.data();
@@ -362,11 +403,13 @@ void Communicator::broadcast(std::span<float> data, int root) {
                 data.size() * sizeof(float));
   }
   st.barrier.arrive_and_wait();
+  inject_exit_faults(CollectiveKind::kBroadcast);
 }
 
 void Communicator::send(std::span<const float> data, int dst, int tag) {
   DCHAG_CHECK(dst != rank_, "send to self");
   stats_.record(CollectiveKind::kSendRecv, bytes_of_count(data.size()));
+  inject_entry_faults(CollectiveKind::kSendRecv);
   auto& st = *state_;
   const auto key = std::make_tuple(rank_, dst, tag);
   std::unique_lock lk(st.mail_mu);
@@ -380,11 +423,14 @@ void Communicator::send(std::span<const float> data, int dst, int tag) {
   });
   st.mailbox.erase(key);
   st.mail_cv.notify_all();
+  lk.unlock();  // jitter sleeps must never hold the shared mailbox lock
+  inject_exit_faults(CollectiveKind::kSendRecv);
 }
 
 void Communicator::recv(std::span<float> data, int src, int tag) {
   DCHAG_CHECK(src != rank_, "recv from self");
   stats_.record(CollectiveKind::kSendRecv, bytes_of_count(data.size()));
+  inject_entry_faults(CollectiveKind::kSendRecv);
   auto& st = *state_;
   const auto key = std::make_tuple(src, rank_, tag);
   std::unique_lock lk(st.mail_mu);
@@ -395,9 +441,12 @@ void Communicator::recv(std::span<float> data, int src, int tag) {
   auto& parcel = st.mailbox.at(key);
   DCHAG_CHECK(parcel.count == static_cast<std::int64_t>(data.size()),
               "recv size " << data.size() << " != sent " << parcel.count);
-  std::memcpy(data.data(), parcel.data, data.size() * sizeof(float));
+  if (!data.empty())
+    std::memcpy(data.data(), parcel.data, data.size() * sizeof(float));
   parcel.consumed = true;
   st.mail_cv.notify_all();
+  lk.unlock();
+  inject_exit_faults(CollectiveKind::kSendRecv);
 }
 
 // ----- split -----------------------------------------------------------------
@@ -428,8 +477,11 @@ Communicator Communicator::split(int color, int key) {
   });
   const bool is_creator = members.front() == rank_;
   if (is_creator) {
+    // Children inherit the parent's fault plan: flaky links stay flaky
+    // for every subgroup carved out of the world.
     auto child = std::make_shared<detail::GroupState>(
-        static_cast<int>(members.size()), st.topology.subgroup(members));
+        static_cast<int>(members.size()), st.topology.subgroup(members),
+        st.fault_plan);
     std::scoped_lock lk(st.split_mu);
     st.split_groups[color] = std::move(child);
     st.split_members[color] = members;
@@ -468,7 +520,7 @@ World::World(int size, Topology topo) : size_(size), topo_(std::move(topo)) {
 }
 
 void World::run(const std::function<void(Communicator&)>& fn) {
-  auto state = std::make_shared<detail::GroupState>(size_, topo_);
+  auto state = std::make_shared<detail::GroupState>(size_, topo_, fault_plan_);
   std::vector<std::thread> threads;
   std::vector<std::exception_ptr> errors(static_cast<std::size_t>(size_));
   threads.reserve(static_cast<std::size_t>(size_));

@@ -28,14 +28,20 @@
 
 namespace dchag::comm {
 
+class FaultPlan;  // fault.hpp: deterministic delay/drop/jitter injection
+
 namespace detail {
 
 /// State shared by all ranks of one communicator group.
 struct GroupState {
-  GroupState(int size, Topology topo);
+  GroupState(int size, Topology topo,
+             std::shared_ptr<const FaultPlan> plan = nullptr);
 
   int size;
   Topology topology;
+  /// Optional fault injection consulted by every collective (timing only,
+  /// never data). Propagates into split() children.
+  std::shared_ptr<const FaultPlan> fault_plan;
 
   // Pointer-exchange slots for the direct/ring/hierarchical algorithms.
   std::vector<const float*> send_slots;
@@ -115,6 +121,11 @@ class Communicator {
   void reset_stats() { stats_ = CommStats{}; }
 
  private:
+  /// Sleeps per the group's FaultPlan (if any) before/after a collective's
+  /// data movement. No-ops without a plan; never touches payloads.
+  void inject_entry_faults(CollectiveKind kind);
+  void inject_exit_faults(CollectiveKind kind);
+
   void all_reduce_direct(std::span<float> data, ReduceOp op);
   void all_reduce_ring(std::span<float> data, ReduceOp op);
   void all_reduce_hierarchical(std::span<float> data, ReduceOp op);
@@ -128,6 +139,12 @@ class Communicator {
   std::shared_ptr<detail::GroupState> state_;
   int rank_;
   CommStats stats_;
+  /// Per-rank collective sequence number feeding FaultPlan::draw; symmetric
+  /// SPMD call sequences keep it aligned across ranks, which is what makes
+  /// injected schedules deterministic.
+  std::uint64_t fault_seq_ = 0;
+  /// Completion jitter drawn at entry, slept at exit of the same op.
+  std::uint32_t pending_exit_jitter_us_ = 0;
 };
 
 /// Owns the shared state for `size` ranks and runs SPMD functions.
@@ -138,6 +155,16 @@ class World {
 
   [[nodiscard]] int size() const { return size_; }
 
+  /// Installs deterministic fault injection (fault.hpp) on every group this
+  /// world creates, including split() children. Pass nullptr to clear.
+  /// This is how FaultyWorld wraps a World; call before run().
+  void set_fault_plan(std::shared_ptr<const FaultPlan> plan) {
+    fault_plan_ = std::move(plan);
+  }
+  [[nodiscard]] const std::shared_ptr<const FaultPlan>& fault_plan() const {
+    return fault_plan_;
+  }
+
   /// Runs `fn(comm)` on every rank in its own thread and joins. If any rank
   /// throws, the first exception is rethrown after all threads finish.
   /// Rank bodies must keep collective call sequences symmetric.
@@ -146,6 +173,7 @@ class World {
  private:
   int size_;
   Topology topo_;
+  std::shared_ptr<const FaultPlan> fault_plan_;
 };
 
 /// Accumulates the element-wise reduction `op` of `src` into `dst`.

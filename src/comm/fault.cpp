@@ -1,0 +1,118 @@
+#include "comm/fault.hpp"
+
+#include <algorithm>
+
+namespace dchag::comm {
+
+namespace {
+
+/// splitmix64: the standard cheap stateless mixer; good enough to make
+/// every (rank, kind, seq) draw look independent.
+std::uint64_t mix(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t hash3(std::uint64_t seed, std::uint64_t a, std::uint64_t b,
+                    std::uint64_t c) {
+  return mix(mix(mix(seed ^ mix(a)) ^ mix(b)) ^ mix(c));
+}
+
+/// Uniform integer in [lo, hi] from a hash value.
+std::uint32_t uniform_u32(std::uint64_t h, std::uint32_t lo,
+                          std::uint32_t hi) {
+  if (hi <= lo) return lo;
+  return lo + static_cast<std::uint32_t>(h % (hi - lo + 1ULL));
+}
+
+double unit_double(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultSpec spec, int size)
+    : spec_(std::move(spec)), size_(size) {
+  DCHAG_CHECK(size_ > 0, "FaultPlan size must be positive");
+  DCHAG_CHECK(spec_.min_edge_delay_us <= spec_.max_edge_delay_us,
+              "FaultSpec min_edge_delay_us " << spec_.min_edge_delay_us
+                                             << " > max "
+                                             << spec_.max_edge_delay_us);
+  DCHAG_CHECK(spec_.drop_prob >= 0.0 && spec_.drop_prob <= 1.0,
+              "FaultSpec drop_prob " << spec_.drop_prob);
+  DCHAG_CHECK(spec_.max_retries >= 0, "FaultSpec max_retries");
+  const auto n = static_cast<std::size_t>(size_);
+  edge_delay_us_.assign(n * n, 0);
+  for (int s = 0; s < size_; ++s) {
+    for (int d = 0; d < size_; ++d) {
+      if (s == d) continue;
+      const std::uint64_t h =
+          hash3(spec_.seed, 0xEDBE, static_cast<std::uint64_t>(s),
+                static_cast<std::uint64_t>(d));
+      edge_delay_us_[static_cast<std::size_t>(s) * n +
+                     static_cast<std::size_t>(d)] =
+          uniform_u32(h, spec_.min_edge_delay_us, spec_.max_edge_delay_us);
+    }
+  }
+  ingress_us_.assign(n, 0);
+  for (int d = 0; d < size_; ++d) {
+    std::uint32_t worst = 0;
+    for (int s = 0; s < size_; ++s)
+      worst = std::max(worst, edge_delay_us(s, d));
+    if (static_cast<std::size_t>(d) < spec_.per_rank_delay_us.size())
+      worst += spec_.per_rank_delay_us[static_cast<std::size_t>(d)];
+    ingress_us_[static_cast<std::size_t>(d)] = worst;
+  }
+}
+
+std::uint32_t FaultPlan::edge_delay_us(int src, int dst) const {
+  return edge_delay_us_[static_cast<std::size_t>(src) *
+                            static_cast<std::size_t>(size_) +
+                        static_cast<std::size_t>(dst)];
+}
+
+FaultPlan::Injection FaultPlan::draw(int rank, CollectiveKind kind,
+                                     std::uint64_t seq) const {
+  Injection inj;
+  inj.pre_delay_us = ingress_us_[static_cast<std::size_t>(rank)];
+  inj.retry_backoff_us = spec_.retry_backoff_us;
+  if (spec_.drop_prob > 0.0) {
+    // Independent drop draw per resend attempt; retries always succeed by
+    // attempt max_retries (the injected network is lossy, not partitioned).
+    for (int attempt = 0; attempt < spec_.max_retries; ++attempt) {
+      const std::uint64_t h =
+          hash3(spec_.seed ^ 0xD509,
+                (static_cast<std::uint64_t>(rank) << 32) |
+                    static_cast<std::uint64_t>(kind),
+                seq, static_cast<std::uint64_t>(attempt));
+      if (unit_double(h) >= spec_.drop_prob) break;
+      ++inj.drops;
+    }
+  }
+  if (spec_.max_completion_jitter_us > 0) {
+    const std::uint64_t h =
+        hash3(spec_.seed ^ 0x10DE,
+              (static_cast<std::uint64_t>(rank) << 32) |
+                  static_cast<std::uint64_t>(kind),
+              seq, 0);
+    inj.post_jitter_us = uniform_u32(h, 0, spec_.max_completion_jitter_us);
+  }
+  injections_.fetch_add(1, std::memory_order_relaxed);
+  injected_retries_.fetch_add(static_cast<std::uint64_t>(inj.drops),
+                              std::memory_order_relaxed);
+  injected_delay_us_.fetch_add(
+      static_cast<std::uint64_t>(inj.pre_delay_us) +
+          static_cast<std::uint64_t>(inj.post_jitter_us) +
+          static_cast<std::uint64_t>(inj.drops) *
+              static_cast<std::uint64_t>(inj.retry_backoff_us),
+      std::memory_order_relaxed);
+  return inj;
+}
+
+std::shared_ptr<const FaultPlan> make_fault_plan(FaultSpec spec, int size) {
+  return std::make_shared<const FaultPlan>(std::move(spec), size);
+}
+
+}  // namespace dchag::comm

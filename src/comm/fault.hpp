@@ -1,0 +1,120 @@
+// Deterministic fault injection for the SPMD runtime.
+//
+// A FaultPlan is a pure function of (seed, group size): per-edge link
+// latencies, per-rank straggler delays, drop-with-retry decisions, and
+// completion jitter are all drawn from hashes of (rank, collective kind,
+// per-rank op sequence number). Because every rank of a symmetric SPMD
+// program advances its op counter identically, the injected schedule is
+// reproducible run to run — faults perturb TIMING only, never data, so
+// any result difference under a plan is a real synchronization bug.
+//
+// Install a plan on any World with World::set_fault_plan(), or use the
+// FaultyWorld convenience wrapper. Plans propagate through split() into
+// child groups (including the shadow groups AsyncCommunicator creates),
+// so overlap schedules are adversarial end to end.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "comm/communicator.hpp"
+
+namespace dchag::comm {
+
+/// Knobs for one injection plan. All delays are microseconds; zero
+/// disables that fault class.
+struct FaultSpec {
+  std::uint64_t seed = 0;
+  /// Per-edge link latency drawn uniformly in [min, max] at plan build;
+  /// a rank's collectives stall for its slowest incoming edge.
+  std::uint32_t min_edge_delay_us = 0;
+  std::uint32_t max_edge_delay_us = 0;
+  /// Probability that a rank's contribution to a collective is "dropped"
+  /// and must be resent; each retry costs retry_backoff_us.
+  double drop_prob = 0.0;
+  int max_retries = 3;
+  std::uint32_t retry_backoff_us = 50;
+  /// Extra delay added AFTER a collective completes, drawn per op in
+  /// [0, max]: async completions arrive out of the issue-time pattern,
+  /// which is what shakes out wait()-ordering bugs.
+  std::uint32_t max_completion_jitter_us = 0;
+  /// Per-rank straggler delay (index = rank; shorter vectors pad with 0).
+  /// The straightforward way to model one slow GCD / preempted worker.
+  std::vector<std::uint32_t> per_rank_delay_us;
+};
+
+class FaultPlan {
+ public:
+  FaultPlan(FaultSpec spec, int size);
+
+  struct Injection {
+    std::uint32_t pre_delay_us = 0;   ///< before the collective's data moves
+    int drops = 0;                    ///< resend attempts before success
+    std::uint32_t retry_backoff_us = 0;
+    std::uint32_t post_jitter_us = 0;  ///< after completion, before return
+  };
+
+  /// Deterministic injection for the `seq`-th collective of kind `kind`
+  /// issued by `rank`. Also bumps the plan's observability counters.
+  [[nodiscard]] Injection draw(int rank, CollectiveKind kind,
+                               std::uint64_t seq) const;
+
+  [[nodiscard]] const FaultSpec& spec() const { return spec_; }
+  [[nodiscard]] int size() const { return size_; }
+  [[nodiscard]] std::uint32_t edge_delay_us(int src, int dst) const;
+
+  // Observability: what the plan actually injected so far.
+  [[nodiscard]] std::uint64_t injected_delay_us() const {
+    return injected_delay_us_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injected_retries() const {
+    return injected_retries_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t injections() const {
+    return injections_.load(std::memory_order_relaxed);
+  }
+  void reset_counters() const {
+    injected_delay_us_.store(0, std::memory_order_relaxed);
+    injected_retries_.store(0, std::memory_order_relaxed);
+    injections_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  FaultSpec spec_;
+  int size_;
+  std::vector<std::uint32_t> edge_delay_us_;  ///< size x size, row = src
+  std::vector<std::uint32_t> ingress_us_;     ///< max incoming edge per rank
+
+  mutable std::atomic<std::uint64_t> injected_delay_us_{0};
+  mutable std::atomic<std::uint64_t> injected_retries_{0};
+  mutable std::atomic<std::uint64_t> injections_{0};
+};
+
+[[nodiscard]] std::shared_ptr<const FaultPlan> make_fault_plan(FaultSpec spec,
+                                                               int size);
+
+/// A World with a seeded FaultPlan pre-installed: the comm test double.
+/// Drop-in for World in any SPMD test — same run() contract, adversarial
+/// timing. Wrap an existing World instead with World::set_fault_plan().
+class FaultyWorld {
+ public:
+  FaultyWorld(int size, FaultSpec spec)
+      : FaultyWorld(size, Topology::flat(size), std::move(spec)) {}
+  FaultyWorld(int size, Topology topo, FaultSpec spec)
+      : plan_(make_fault_plan(std::move(spec), size)), world_(size, topo) {
+    world_.set_fault_plan(plan_);
+  }
+
+  [[nodiscard]] int size() const { return world_.size(); }
+  [[nodiscard]] const FaultPlan& plan() const { return *plan_; }
+
+  void run(const std::function<void(Communicator&)>& fn) { world_.run(fn); }
+
+ private:
+  std::shared_ptr<const FaultPlan> plan_;
+  World world_;
+};
+
+}  // namespace dchag::comm

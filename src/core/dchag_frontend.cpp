@@ -1,5 +1,7 @@
 #include "core/dchag_frontend.hpp"
 
+#include <array>
+
 namespace dchag::core {
 
 namespace ops = tensor::ops;
@@ -10,8 +12,13 @@ using tensor::Tensor;
 DchagFrontEnd::DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
                              Communicator& comm, const DchagOptions& opts,
                              Rng& master_rng)
-    : cfg_(cfg), comm_(&comm), kernels_(opts.kernels) {
+    : cfg_(cfg), comm_(&comm), kernels_(opts.kernels), comm_cfg_(opts.comm) {
   cfg_.validate();
+  sync_coll_.emplace(comm);
+  // The async progress lane is built lazily at the first async forward
+  // (collective_for), NOT here: front-end construction must stay free of
+  // collectives so a rank whose peer fails to construct can still unwind
+  // (SpmdEngine's cold-start failure path relies on this).
   Rng tok_rng = master_rng.fork(0xD0C);
   tokenizer_ = std::make_unique<parallel::DistributedTokenizer>(
       cfg_, total_channels, comm, tok_rng);
@@ -50,12 +57,26 @@ Variable DchagFrontEnd::forward_local_partial(const Tensor& images) const {
   return tree_->forward(bscd);                              // [B, S, D]
 }
 
+comm::ICollective& DchagFrontEnd::collective_for(comm::CommMode mode) const {
+  if (mode == comm::CommMode::kSync) return *sync_coll_;
+  if (!async_) async_ = std::make_unique<comm::AsyncCommunicator>(*comm_);
+  return *async_;
+}
+
 Variable DchagFrontEnd::forward(const Tensor& images) const {
   std::optional<tensor::KernelScope> scope;
   if (kernels_) scope.emplace(*kernels_);
   const Index B = images.dim(0);
   const Index S = cfg_.seq_len();
   const Index D = cfg_.embed_dim;
+
+  // Pipelined route: micro-chunk the batch so gather traffic overlaps the
+  // next chunk's compute. Needs at least 2 chunks to mean anything; the
+  // K <= 1 route below stays the byte-for-byte original forward.
+  const comm::CommConfig cc = comm_config();
+  const Index K =
+      std::min<Index>(std::max<Index>(cc.pipeline_chunks, 1), B);
+  if (K > 1) return forward_pipelined(images, K, cc.mode);
 
   // 1-2. Local tokenization + partial aggregation to one representation.
   Variable partial = forward_local_partial(images);
@@ -72,6 +93,57 @@ Variable DchagFrontEnd::forward(const Tensor& images) const {
 
   // 4. Final shared cross-attention over the P partial representations.
   return final_->forward(gathered);  // [B, S, D]
+}
+
+Variable DchagFrontEnd::forward_pipelined(const Tensor& images, Index K,
+                                          comm::CommMode mode) const {
+  DCHAG_CHECK(images.rank() == 4 && images.dim(1) == local_channels(),
+              "DchagFrontEnd expects the rank-local channel slice [B, "
+                  << local_channels() << ", H, W], got "
+                  << images.shape().to_string());
+  const Index B = images.dim(0);
+  const Index S = cfg_.seq_len();
+  const Index D = cfg_.embed_dim;
+  comm::ICollective& coll = collective_for(mode);
+
+  // Software pipeline over K batch micro-chunks with two gather slots:
+  //
+  //   chunk k   : tree GEMMs -> issue iall_gather into slot k%2
+  //   chunk k+1 : tree GEMMs        | slot k traffic in flight
+  //   combine k : wait slot k, final cross-attention (the only barrier)
+  //
+  // A slot is re-armed only after its combine, so at most two gathers are
+  // ever in flight and buffers are never overwritten mid-transfer. Under
+  // SyncCollective the identical code runs with eager (pre-completed)
+  // futures: same chunking, same arithmetic order, bit-identical output —
+  // the oracle the FaultyWorld stress tests compare against.
+  std::array<std::optional<parallel::PendingGatherCat>, 2> slots;
+  std::array<Index, 2> slot_chunk{0, 0};
+  std::vector<Variable> outs(static_cast<std::size_t>(K));
+  auto combine = [&](std::size_t s) {
+    Variable gathered = slots[s]->wait();  // [b, S, P, D]
+    outs[static_cast<std::size_t>(slot_chunk[s])] = final_->forward(gathered);
+    slots[s].reset();
+  };
+
+  const Index base = B / K;
+  const Index rem = B % K;
+  Index off = 0;
+  for (Index k = 0; k < K; ++k) {
+    const Index len = base + (k < rem ? 1 : 0);
+    const auto s = static_cast<std::size_t>(k % 2);
+    if (slots[s]) combine(s);  // retire chunk k-2 before re-arming its slot
+    Variable partial = forward_local_partial(images.slice0(off, len));
+    Variable as_channel = autograd::reshape(partial, Shape{len, S, 1, D});
+    slots[s] = parallel::all_gather_cat_start(as_channel, coll, /*dim=*/2);
+    slot_chunk[s] = k;
+    off += len;
+  }
+  for (Index k = std::max<Index>(K - 2, 0); k < K; ++k) {
+    const auto s = static_cast<std::size_t>(k % 2);
+    if (slots[s]) combine(s);
+  }
+  return autograd::concat(outs, 0);  // [B, S, D]
 }
 
 Variable DchagFrontEnd::forward_subset(

@@ -18,6 +18,7 @@
 
 #include <optional>
 
+#include "comm/async.hpp"
 #include "model/foundation.hpp"
 #include "parallel/dist_tokenizer.hpp"
 #include "tensor/kernel_config.hpp"
@@ -50,6 +51,12 @@ struct DchagOptions {
   /// fan-out onto the shared pool only adds contention. Unset = inherit
   /// the caller's / process config.
   std::optional<tensor::KernelConfig> kernels;
+  /// Sync vs async collectives + forward pipeline depth. Defaults follow
+  /// DCHAG_COMM / DCHAG_COMM_CHUNKS so a whole binary flips modes from the
+  /// environment; comm::CommScope overrides per thread at forward time.
+  /// kSync with pipeline_chunks <= 1 is the original monolithic forward
+  /// (one blocking AllGather), kept verbatim as the parity oracle.
+  comm::CommConfig comm = comm::comm_config_from_env();
 };
 
 class DchagFrontEnd : public model::FrontEnd {
@@ -96,6 +103,16 @@ class DchagFrontEnd : public model::FrontEnd {
     return *final_;
   }
   [[nodiscard]] Communicator& communicator() const { return *comm_; }
+  /// Effective comm config for a forward on this thread: the innermost
+  /// comm::CommScope if one is active, else this front-end's options.
+  [[nodiscard]] comm::CommConfig comm_config() const {
+    return comm::comm_scope_override().value_or(comm_cfg_);
+  }
+  /// Ledger of async collectives issued by pipelined forwards (null until
+  /// the first async forward constructs the progress lane).
+  [[nodiscard]] const comm::CommStats* async_stats() const {
+    return async_ ? &async_->stats() : nullptr;
+  }
 
   /// The slice of the full input this rank consumes:
   /// images[:, rank*C/P : (rank+1)*C/P].
@@ -107,9 +124,23 @@ class DchagFrontEnd : public model::FrontEnd {
   }
 
  private:
+  /// The overlap pipeline (double-buffered micro-chunks of the batch):
+  /// level-k gather traffic is in flight while chunk k+1's tokenizer/tree
+  /// GEMMs issue; wait() happens only at each chunk's combine point.
+  [[nodiscard]] autograd::Variable forward_pipelined(
+      const tensor::Tensor& images, Index chunks, comm::CommMode mode) const;
+  /// The ICollective for `mode`. First async use constructs the
+  /// AsyncCommunicator, which is COLLECTIVE (it splits a shadow group) —
+  /// all ranks must take their first async forward together, the usual
+  /// symmetric-SPMD contract.
+  [[nodiscard]] comm::ICollective& collective_for(comm::CommMode mode) const;
+
   ModelConfig cfg_;
   Communicator* comm_;
   std::optional<tensor::KernelConfig> kernels_;
+  comm::CommConfig comm_cfg_;
+  mutable std::optional<comm::SyncCollective> sync_coll_;
+  mutable std::unique_ptr<comm::AsyncCommunicator> async_;
   std::unique_ptr<parallel::DistributedTokenizer> tokenizer_;
   std::unique_ptr<model::AggregationTree> tree_;
   std::unique_ptr<model::CrossAttentionAggregator> final_;

@@ -6,6 +6,23 @@ namespace ops = tensor::ops;
 using tensor::Shape;
 using tensor::Tensor;
 
+namespace {
+
+/// Reassembles a raw [P, numel] gather buffer into the concatenation of
+/// the P per-rank tensors along `d`. Shared by the blocking and
+/// split-phase gather ops so both produce bit-identical layouts.
+Tensor cat_from_flat(const Tensor& flat, const Shape& piece_shape, int P,
+                     tensor::Index d) {
+  std::vector<Tensor> pieces;
+  pieces.reserve(static_cast<std::size_t>(P));
+  for (int r = 0; r < P; ++r) {
+    pieces.push_back(flat.slice0(r, 1).reshape(piece_shape));
+  }
+  return ops::concat(pieces, d);
+}
+
+}  // namespace
+
 Variable reduce_from_parallel(const Variable& x, Communicator& comm) {
   Tensor out = x.value().clone();
   comm.all_reduce(out.span(), comm::ReduceOp::kSum);
@@ -35,12 +52,7 @@ Variable all_gather_cat(const Variable& x, Communicator& comm, Index dim,
   // Gather the raw contiguous buffers, then reassemble along `dim`.
   Tensor flat(Shape{static_cast<Index>(P), x.shape().numel()});
   comm.all_gather(x.value().span(), flat.span());
-  std::vector<Tensor> pieces;
-  pieces.reserve(static_cast<std::size_t>(P));
-  for (int r = 0; r < P; ++r) {
-    pieces.push_back(flat.slice0(r, 1).reshape(x.shape()));
-  }
-  Tensor gathered = ops::concat(pieces, d);
+  Tensor gathered = cat_from_flat(flat, x.shape(), P, d);
 
   auto nx = x.node();
   Communicator* c = &comm;
@@ -59,6 +71,38 @@ Variable all_gather_cat(const Variable& x, Communicator& comm, Index dim,
         c->all_reduce(gr.span(), comm::ReduceOp::kSum);
         autograd::accumulate_grad(
             *nx, ops::slice(gr, d, rank * n_local, n_local));
+      });
+}
+
+PendingGatherCat all_gather_cat_start(const Variable& x,
+                                      comm::ICollective& coll, Index dim) {
+  PendingGatherCat p;
+  p.input_ = x;
+  p.dim_ = dim >= 0 ? dim : dim + x.shape().rank();
+  p.rank_ = coll.rank();
+  p.flat_ = Tensor(Shape{static_cast<Index>(coll.size()), x.shape().numel()});
+  // x's storage is pinned by p.input_ until the future completes; the
+  // receive buffer by p.flat_. Both spans outlive the in-flight op.
+  p.future_ = coll.iall_gather(x.value().span(), p.flat_.span());
+  return p;
+}
+
+Variable PendingGatherCat::wait() {
+  DCHAG_CHECK(future_.valid(), "PendingGatherCat waited twice");
+  future_.wait();
+  future_ = comm::CommFuture();
+  const int P = static_cast<int>(flat_.dim(0));
+  Tensor gathered = cat_from_flat(flat_, input_.shape(), P, dim_);
+  const Index n_local = input_.shape().dim(dim_);
+  auto nx = input_.node();
+  const Index d = dim_;
+  const int rank = rank_;
+  return autograd::make_op(
+      std::move(gathered), {input_}, [nx, d, n_local, rank](const Tensor& g) {
+        // kLocalSlice backward: downstream is replicated, so my shard's
+        // gradient is my slice of the identical-everywhere upstream grad.
+        autograd::accumulate_grad(*nx,
+                                  ops::slice(g, d, rank * n_local, n_local));
       });
 }
 

@@ -4,6 +4,7 @@
 // pair) and of D-CHAG's forward-only AllGather.
 #pragma once
 
+#include "comm/async.hpp"
 #include "comm/communicator.hpp"
 #include "tensor/autograd.hpp"
 
@@ -41,6 +42,35 @@ enum class GatherBackward {
 /// receive the same gathered tensor.
 [[nodiscard]] Variable all_gather_cat(const Variable& x, Communicator& comm,
                                       Index dim, GatherBackward backward);
+
+/// Split-phase all_gather_cat: the non-blocking half of D-CHAG's overlap.
+/// start() issues the gather on an ICollective and returns immediately;
+/// finish() (or the handle's wait()) blocks on the traffic and assembles
+/// the concatenated Variable — including the kLocalSlice tape node, so
+/// train-mode backward works exactly like the blocking op. The handle owns
+/// the receive buffer; keep it alive until wait(). Backward is restricted
+/// to kLocalSlice (zero backward communication), which is the only mode
+/// the overlap pipeline needs — the general kReduceScatter backward would
+/// reintroduce a blocking collective inside the tape.
+class PendingGatherCat {
+ public:
+  [[nodiscard]] Variable wait();
+  [[nodiscard]] bool ready() const { return future_.ready(); }
+
+ private:
+  friend PendingGatherCat all_gather_cat_start(const Variable& x,
+                                               comm::ICollective& coll,
+                                               Index dim);
+  comm::CommFuture future_;
+  tensor::Tensor flat_;  ///< [P, numel(x)] receive buffer
+  Variable input_;
+  Index dim_ = 0;
+  int rank_ = 0;
+};
+
+[[nodiscard]] PendingGatherCat all_gather_cat_start(const Variable& x,
+                                                    comm::ICollective& coll,
+                                                    Index dim);
 
 /// Broadcasts the values of `params` from `root`, forcing bit-identical
 /// replicated parameters across the group (used at model construction).

@@ -2,13 +2,16 @@
 
 namespace dchag::serve {
 
-SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory)
+SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory,
+                       SpmdEngineConfig cfg)
     : ranks_(ranks) {
   DCHAG_CHECK(ranks_ >= 1, "SpmdEngine needs >= 1 rank");
   DCHAG_CHECK(factory != nullptr, "SpmdEngine needs a model factory");
-  world_thread_ = std::thread([this, factory = std::move(factory)] {
+  world_thread_ = std::thread([this, factory = std::move(factory),
+                               cfg = std::move(cfg)] {
     try {
       comm::World world(ranks_);
+      if (cfg.fault_plan) world.set_fault_plan(cfg.fault_plan);
       world.run([&](comm::Communicator& comm) {
         // Tape-free for the lifetime of this rank thread: serving never
         // records autograd history. Kernel backend policy belongs to the

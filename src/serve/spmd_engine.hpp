@@ -14,9 +14,23 @@
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "comm/fault.hpp"
 #include "serve/engine.hpp"
 
 namespace dchag::serve {
+
+/// Knobs for the engine's internal World. The async-vs-sync comm mode is
+/// NOT here: it belongs to the rank model (set DchagOptions::comm in the
+/// factory), because collectives are issued by the front-end. What the
+/// engine owns is the substrate — and, for tests/benches, the option to
+/// make that substrate adversarial.
+struct SpmdEngineConfig {
+  /// Deterministic fault injection (delays, stragglers, drop-with-retry)
+  /// installed on the engine's World. The serving path must stay live and
+  /// deadlock-free under it; tests assert tail-latency metrics still
+  /// populate.
+  std::shared_ptr<const comm::FaultPlan> fault_plan;
+};
 
 class SpmdEngine {
  public:
@@ -29,7 +43,8 @@ class SpmdEngine {
 
   /// Spawns `ranks` worker ranks and blocks until every rank's model is
   /// constructed (cold start). Throws if any rank fails to construct.
-  SpmdEngine(int ranks, RankModelFactory factory);
+  SpmdEngine(int ranks, RankModelFactory factory,
+             SpmdEngineConfig cfg = {});
   ~SpmdEngine();
   SpmdEngine(const SpmdEngine&) = delete;
   SpmdEngine& operator=(const SpmdEngine&) = delete;

@@ -12,6 +12,8 @@ TrainCurve train_mae(
     const std::function<Tensor(Index)>& next_batch) {
   std::optional<tensor::KernelScope> kernels;
   if (cfg.kernels) kernels.emplace(*cfg.kernels);
+  std::optional<comm::CommScope> comm_scope;
+  if (cfg.comm) comm_scope.emplace(*cfg.comm);
   Adam opt(mae.parameters(), cfg.adam);
   TrainCurve curve;
   curve.losses.reserve(static_cast<std::size_t>(cfg.steps));
@@ -38,6 +40,8 @@ TrainCurve train_forecast(
     const std::function<std::pair<Tensor, Tensor>(Index)>& next_pair) {
   std::optional<tensor::KernelScope> kernels;
   if (cfg.kernels) kernels.emplace(*cfg.kernels);
+  std::optional<comm::CommScope> comm_scope;
+  if (cfg.comm) comm_scope.emplace(*cfg.comm);
   Adam opt(fm.parameters(), cfg.adam);
   TrainCurve curve;
   curve.losses.reserve(static_cast<std::size_t>(cfg.steps));

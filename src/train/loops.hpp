@@ -9,6 +9,7 @@
 #include <optional>
 #include <vector>
 
+#include "comm/async.hpp"
 #include "model/foundation.hpp"
 #include "tensor/kernel_config.hpp"
 #include "train/optim.hpp"
@@ -26,6 +27,13 @@ struct LoopConfig {
   /// training side by side don't contend for the shared pool; a
   /// single-process run keeps the parallel default. Unset = inherit.
   std::optional<tensor::KernelConfig> kernels;
+  /// Comm mode pinned for the whole loop (thread-local comm::CommScope on
+  /// the calling thread): sync is the parity oracle, async overlaps the
+  /// D-CHAG gather with the next micro-chunk's compute. Every rank of an
+  /// SPMD group must pass the same value — the scope changes which
+  /// collectives the front-end issues. Unset = inherit the front-end's
+  /// DchagOptions::comm.
+  std::optional<comm::CommConfig> comm;
 };
 
 struct TrainCurve {

@@ -3,6 +3,7 @@
 
 #include <numeric>
 
+#include "comm/async.hpp"
 #include "comm/communicator.hpp"
 
 namespace dchag::comm {
@@ -106,6 +107,94 @@ TEST(CommEdge, SendToSelfThrows) {
     if (comm.rank() == 1) comm.recv(d, 1, 0);
   }),
                Error);
+}
+
+TEST(CommEdge, ZeroElementCollectivesSync) {
+  // Empty payloads are legal rendezvous: no data moves, nothing derefs a
+  // null span, and the group stays usable for real traffic afterwards.
+  World world(4);
+  world.run([](Communicator& comm) {
+    std::vector<float> empty;
+    for (Algorithm alg :
+         {Algorithm::kDirect, Algorithm::kRing, Algorithm::kHierarchical}) {
+      comm.all_reduce(empty, ReduceOp::kSum, alg);
+      comm.all_gather(empty, empty, alg);
+      comm.reduce_scatter(empty, empty, ReduceOp::kSum, alg);
+    }
+    comm.broadcast(empty, 0);
+    ASSERT_EQ(comm.stats().bytes_of(CollectiveKind::kAllReduce), 0u);
+    // The group still works after the degenerate calls.
+    std::vector<float> d{1.0f};
+    comm.all_reduce(d);
+    ASSERT_EQ(d[0], 4.0f);
+  });
+}
+
+TEST(CommEdge, ZeroElementCollectivesAsync) {
+  World world(4);
+  world.run([](Communicator& comm) {
+    AsyncCommunicator async(comm);
+    std::vector<float> empty;
+    CommFuture f1 = async.iall_reduce(empty);
+    CommFuture f2 = async.iall_gather(empty, empty);
+    CommFuture f3 = async.ireduce_scatter(empty, empty);
+    CommFuture f4 = async.ibroadcast(empty, 0);
+    f1.wait();
+    f2.wait();
+    f3.wait();
+    f4.wait();
+    std::vector<float> d{2.0f};
+    CommFuture f5 = async.iall_reduce(d);
+    f5.wait();
+    ASSERT_EQ(d[0], 8.0f);
+  });
+}
+
+TEST(CommEdge, SingleRankCollectivesSync) {
+  // P = 1 worlds must behave as identities (gather/scatter degenerate to
+  // copies, avg of one value is itself) for every collective.
+  World world(1);
+  world.run([](Communicator& comm) {
+    std::vector<float> d{3.0f, 4.0f};
+    comm.all_reduce(d, ReduceOp::kAvg);
+    ASSERT_EQ(d[0], 3.0f);
+    std::vector<float> send{5.0f, 6.0f};
+    std::vector<float> recv(2, 0.0f);
+    comm.all_gather(send, recv);
+    ASSERT_EQ(recv, send);
+    std::vector<float> rs(2, 0.0f);
+    comm.reduce_scatter(send, rs, ReduceOp::kMax);
+    ASSERT_EQ(rs, send);
+    std::vector<float> bc{7.0f};
+    comm.broadcast(bc, 0);
+    ASSERT_EQ(bc[0], 7.0f);
+    comm.barrier();
+  });
+}
+
+TEST(CommEdge, SingleRankCollectivesAsync) {
+  World world(1);
+  world.run([](Communicator& comm) {
+    AsyncCommunicator async(comm);
+    ASSERT_EQ(async.size(), 1);
+    std::vector<float> d{3.0f};
+    std::vector<float> send{5.0f, 6.0f};
+    std::vector<float> recv(2, 0.0f);
+    std::vector<float> rs(2, 0.0f);
+    std::vector<float> bc{7.0f};
+    CommFuture f1 = async.iall_reduce(d, ReduceOp::kAvg);
+    CommFuture f2 = async.iall_gather(send, recv);
+    CommFuture f3 = async.ireduce_scatter(send, rs);
+    CommFuture f4 = async.ibroadcast(bc, 0);
+    f1.wait();
+    f2.wait();
+    f3.wait();
+    f4.wait();
+    ASSERT_EQ(d[0], 3.0f);
+    ASSERT_EQ(recv, send);
+    ASSERT_EQ(rs, send);
+    ASSERT_EQ(bc[0], 7.0f);
+  });
 }
 
 TEST(CommEdge, LargePayloadAllReduce) {
