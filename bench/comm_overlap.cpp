@@ -33,12 +33,17 @@ model::ModelConfig bench_config() {
   return cfg;
 }
 
-core::DchagOptions options(comm::CommMode mode) {
-  core::DchagOptions opts{
-      /*tree_units=*/1, model::AggLayerKind::kLinear,
-      tensor::KernelConfig{tensor::KernelBackend::kBlocked}};
-  opts.comm = comm::CommConfig{mode, kChunks};
-  return opts;
+core::DchagOptions options() {
+  return core::DchagOptions{/*tree_units=*/1, model::AggLayerKind::kLinear};
+}
+
+/// Per-mode execution context: kBlocked kernels (the P rank threads are
+/// the parallelism) + the pipelined comm config under test.
+runtime::Context bench_context(comm::CommMode mode) {
+  return runtime::ContextBuilder()
+      .kernel_backend(tensor::KernelBackend::kBlocked)
+      .comm(comm::CommConfig{mode, kChunks})
+      .build();
 }
 
 double now_ms() {
@@ -57,8 +62,8 @@ double measure_forward_ms(WorldT& world, comm::CommMode mode,
   world.run([&](comm::Communicator& comm) {
     autograd::NoGradGuard no_grad;
     tensor::Rng master(2024);
-    core::DchagFrontEnd fe(bench_config(), kChannels, comm, options(mode),
-                           master);
+    core::DchagFrontEnd fe(bench_config(), kChannels, comm, options(),
+                           master, bench_context(mode));
     tensor::Tensor img = tensor::Rng(7).normal_tensor(
         tensor::Shape{kBatch, kChannels, 32, 32});
     tensor::Tensor local = fe.slice_local_channels(img);

@@ -19,7 +19,6 @@ namespace {
 using namespace dchag;
 using autograd::Variable;
 using tensor::KernelBackend;
-using tensor::KernelScope;
 using tensor::Rng;
 using tensor::Shape;
 using tensor::Tensor;
@@ -50,7 +49,8 @@ BENCHMARK(BM_Matmul)->Arg(32)->Arg(64)->Arg(128);
 
 void BM_MatmulBackend(benchmark::State& state) {
   const auto n = state.range(0);
-  KernelScope scope({backend_arg(state.range(1)), 0});
+  runtime::Scope scope(
+      runtime::ContextPatch::with_kernels({backend_arg(state.range(1)), 0}));
   Rng rng(1);
   Tensor a = rng.normal_tensor(Shape{n, n});
   Tensor b = rng.normal_tensor(Shape{n, n});
@@ -66,7 +66,8 @@ BENCHMARK(BM_MatmulBackend)
 
 void BM_BatchedMatmulBackend(benchmark::State& state) {
   // The attention shape: [B*h, N, dh] x shared [dh, dh'] projections.
-  KernelScope scope({backend_arg(state.range(0)), 0});
+  runtime::Scope scope(
+      runtime::ContextPatch::with_kernels({backend_arg(state.range(0)), 0}));
   Rng rng(2);
   Tensor a = rng.normal_tensor(Shape{16, 64, 64});
   Tensor b = rng.normal_tensor(Shape{64, 64});
@@ -79,7 +80,8 @@ void BM_BatchedMatmulBackend(benchmark::State& state) {
 BENCHMARK(BM_BatchedMatmulBackend)->ArgNames({"backend"})->DenseRange(0, 2);
 
 void BM_SoftmaxBackend(benchmark::State& state) {
-  KernelScope scope({backend_arg(state.range(0)), 0});
+  runtime::Scope scope(
+      runtime::ContextPatch::with_kernels({backend_arg(state.range(0)), 0}));
   Rng rng(3);
   Tensor a = rng.normal_tensor(Shape{512, 1024});
   for (auto _ : state) {
@@ -90,7 +92,8 @@ void BM_SoftmaxBackend(benchmark::State& state) {
 BENCHMARK(BM_SoftmaxBackend)->ArgNames({"backend"})->DenseRange(0, 2);
 
 void BM_ElementwiseBackend(benchmark::State& state) {
-  KernelScope scope({backend_arg(state.range(0)), 0});
+  runtime::Scope scope(
+      runtime::ContextPatch::with_kernels({backend_arg(state.range(0)), 0}));
   Rng rng(4);
   Tensor a = rng.normal_tensor(Shape{1024, 1024});
   Tensor b = rng.normal_tensor(Shape{1024, 1024});

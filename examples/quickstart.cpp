@@ -32,6 +32,12 @@ int main() {
               static_cast<long long>(cfg.image_h),
               static_cast<long long>(cfg.image_w));
 
+  // Execution configuration lives in ONE place: the runtime context.
+  // from_env() honours DCHAG_KERNEL / DCHAG_THREADS / DCHAG_COMM /
+  // DCHAG_COMM_CHUNKS; chain .to_builder().kernel_backend(...)... to pin
+  // anything else per deployment.
+  const runtime::Context ctx = runtime::Context::from_env();
+
   // ----- 2./3. D-CHAG on 4 simulated ranks -----------------------------------
   comm::World world(4);
   world.run([&](comm::Communicator& comm) {
@@ -39,7 +45,7 @@ int main() {
     core::DchagFrontEnd frontend(cfg, kChannels, comm,
                                  {/*tree_units=*/1,
                                   model::AggLayerKind::kLinear},
-                                 rng);
+                                 rng, ctx);
     // Each rank consumes only its slice of the channels...
     tensor::Tensor local = frontend.slice_local_channels(images);
     autograd::Variable tokens = frontend.forward(local);

@@ -58,7 +58,10 @@ int main() {
   cfg.num_workers = 2;
   cfg.batcher.max_batch = 8;
   cfg.batcher.max_wait = std::chrono::microseconds(3000);
-  serve::Server server(engine.inference_fn(), cfg);
+  // Execution config in one place: both workers inherit this context
+  // (kernel backend, comm mode, tracing — see ARCHITECTURE §9).
+  const runtime::Context ctx = runtime::Context::from_env();
+  serve::Server server(engine.inference_fn(), cfg, ctx);
 
   // ----- 3. 120 concurrent mixed-channel-subset requests ----------------------
   const std::vector<std::vector<tensor::Index>> subsets{

@@ -1,6 +1,7 @@
-#include "comm/async.hpp"
+// Shim TU: implements the deprecated pre-Context comm config surface.
+#define DCHAG_ALLOW_DEPRECATED_CONFIG 1
 
-#include <cstdlib>
+#include "comm/async.hpp"
 
 namespace dchag::comm {
 
@@ -88,10 +89,25 @@ void AsyncCommunicator::progress_loop() {
       queue_.pop_front();
     }
     std::exception_ptr err;
-    try {
-      op.fn(shadow_);
-    } catch (...) {
-      err = std::current_exception();
+    {
+      // The op runs under the ISSUER's effective context: a scope active
+      // on the rank thread at issue time is visible here (and its tracing
+      // sink observes the op completing on this progress thread).
+      runtime::Scope ctx_scope(op.ctx);
+      try {
+        op.fn(shadow_);
+      } catch (...) {
+        err = std::current_exception();
+      }
+      if (!err) {
+        // Metrics emission must never fail the comm path: a throwing
+        // sink cannot turn a completed collective into a failed future.
+        try {
+          runtime::trace_here("comm.async.op.bytes",
+                              static_cast<double>(op.bytes));
+        } catch (...) {
+        }
+      }
     }
     {
       // One critical section for completion AND accounting: a thread that
@@ -115,7 +131,8 @@ CommFuture AsyncCommunicator::enqueue(CollectiveKind kind,
   {
     std::lock_guard<std::mutex> lock(mu_);
     DCHAG_CHECK(!stop_, "issue on a stopped AsyncCommunicator");
-    queue_.push_back(PendingOp{std::move(fn), state});
+    queue_.push_back(
+        PendingOp{std::move(fn), state, runtime::Context::current(), bytes});
     ++in_flight_;
   }
   cv_ops_.notify_one();
@@ -159,52 +176,18 @@ std::size_t AsyncCommunicator::in_flight() const {
   return in_flight_;
 }
 
-// ----- CommConfig / CommScope ------------------------------------------------
+// ----- Deprecated pre-Context shims ------------------------------------------
 
-const char* to_string(CommMode m) {
-  return m == CommMode::kSync ? "sync" : "async";
-}
-
-CommMode parse_comm_mode(const std::string& name) {
-  if (name == "sync") return CommMode::kSync;
-  if (name == "async") return CommMode::kAsync;
-  throw Error("unknown comm mode '" + name + "' (want sync|async)");
-}
+#ifdef DCHAG_DEPRECATED_CONFIG
 
 CommConfig comm_config_from_env() {
-  CommConfig cfg;
-  if (const char* mode = std::getenv("DCHAG_COMM"); mode && *mode) {
-    cfg.mode = parse_comm_mode(mode);
-  }
-  // Async without pipelining cannot overlap anything; default it to a
-  // useful depth while letting DCHAG_COMM_CHUNKS pin either mode's depth.
-  cfg.pipeline_chunks = cfg.mode == CommMode::kAsync ? 4 : 1;
-  if (const char* chunks = std::getenv("DCHAG_COMM_CHUNKS");
-      chunks && *chunks) {
-    const int v = std::atoi(chunks);
-    DCHAG_CHECK(v >= 1 && v <= 4096, "DCHAG_COMM_CHUNKS=" << chunks
-                                                          << " out of range");
-    cfg.pipeline_chunks = v;
-  }
-  return cfg;
+  return runtime::Context::from_env().comm();
 }
 
-namespace {
-thread_local std::optional<CommConfig> t_comm_scope;
-}  // namespace
-
-CommScope::CommScope(CommConfig cfg) : had_prev_(t_comm_scope.has_value()) {
-  if (had_prev_) prev_ = *t_comm_scope;
-  t_comm_scope = cfg;
+std::optional<CommConfig> comm_scope_override() {
+  return runtime::detail::thread_comm_override();
 }
 
-CommScope::~CommScope() {
-  if (had_prev_)
-    t_comm_scope = prev_;
-  else
-    t_comm_scope.reset();
-}
-
-std::optional<CommConfig> comm_scope_override() { return t_comm_scope; }
+#endif  // DCHAG_DEPRECATED_CONFIG
 
 }  // namespace dchag::comm

@@ -21,10 +21,13 @@
 // that op's future completes. wait() rethrows an op's failure on the
 // waiting thread.
 //
-// CommConfig/CommScope select sync vs async (plus the forward pipeline
-// depth) for consumers like the D-CHAG front-end; process defaults come
-// from DCHAG_COMM / DCHAG_COMM_CHUNKS so CI can run the whole suite under
-// either mode without code changes.
+// Sync vs async (plus the forward pipeline depth) is the comm slice of
+// the unified runtime::Context: CommMode/CommConfig are aliases of the
+// runtime types, process defaults come from Context::from_env()
+// (DCHAG_COMM / DCHAG_COMM_CHUNKS) so CI can run the whole suite under
+// either mode without code changes, and runtime::Scope overrides per
+// thread. The pre-Context CommScope/comm_config_from_env surface
+// survives only as deprecated shims behind DCHAG_DEPRECATED_CONFIG.
 #pragma once
 
 #include <deque>
@@ -33,6 +36,7 @@
 #include <thread>
 
 #include "comm/communicator.hpp"
+#include "runtime/context.hpp"
 
 namespace dchag::comm {
 
@@ -190,6 +194,11 @@ class AsyncCommunicator final : public ICollective {
   struct PendingOp {
     std::function<void(Communicator&)> fn;
     std::shared_ptr<detail::FutureState> state;
+    /// The issuing thread's effective context: the progress thread runs
+    /// the op under it (runtime::Scope), so overrides — tracing sink
+    /// included — cross the issue/progress boundary.
+    runtime::Context ctx;
+    std::uint64_t bytes = 0;
   };
 
   CommFuture enqueue(CollectiveKind kind, std::uint64_t bytes,
@@ -209,41 +218,44 @@ class AsyncCommunicator final : public ICollective {
 };
 
 /// Sync-vs-async switch consumed by the D-CHAG front-end, serving, and
-/// training. pipeline_chunks is the forward's software-pipeline depth
-/// (micro-chunks of the batch, double-buffered); <= 1 keeps the original
-/// monolithic one-gather forward.
-enum class CommMode { kSync, kAsync };
+/// training — the comm slice of the unified runtime::Context.
+/// pipeline_chunks is the forward's software-pipeline depth (micro-chunks
+/// of the batch, double-buffered); <= 1 keeps the original monolithic
+/// one-gather forward.
+using CommMode = runtime::CommMode;
+using CommConfig = runtime::CommConfig;
 
-struct CommConfig {
-  CommMode mode = CommMode::kSync;
-  int pipeline_chunks = 1;
-};
+using runtime::parse_comm_mode;
+using runtime::to_string;
 
-[[nodiscard]] const char* to_string(CommMode m);
-/// "sync" | "async" -> mode; throws on anything else.
-[[nodiscard]] CommMode parse_comm_mode(const std::string& name);
+#ifdef DCHAG_DEPRECATED_CONFIG
 
-/// Process default from the environment:
-///   DCHAG_COMM        = sync | async          (default sync)
-///   DCHAG_COMM_CHUNKS = pipeline depth >= 1   (default: 1 sync, 4 async)
+/// Pre-Context process default from the environment.
+DCHAG_DEPRECATED_CONFIG_API(
+    "use runtime::Context::from_env().comm() — the one env entry point")
 [[nodiscard]] CommConfig comm_config_from_env();
 
-/// Thread-local override (RAII, nestable), mirroring tensor::KernelScope:
-/// train loops and tests pin a mode for a region without rebuilding the
-/// model. All ranks of a group must scope symmetrically.
-class CommScope {
+/// Pre-Context thread-local override. Thin shim over runtime::Scope with
+/// a comm-only patch: nesting, worker propagation, and precedence are
+/// the runtime stack's. All ranks of a group must scope symmetrically.
+class DCHAG_DEPRECATED_CONFIG_API(
+    "use runtime::Scope with ContextPatch::with_comm") CommScope {
  public:
-  explicit CommScope(CommConfig cfg);
-  ~CommScope();
+  explicit CommScope(CommConfig cfg)
+      : scope_(runtime::ContextPatch::with_comm(cfg)) {}
   CommScope(const CommScope&) = delete;
   CommScope& operator=(const CommScope&) = delete;
 
  private:
-  CommConfig prev_;
-  bool had_prev_;
+  runtime::Scope scope_;
 };
 
-/// Innermost active CommScope's config on this thread, if any.
+/// Innermost active comm override on this thread, if any. Pre-Context
+/// query; new code reads runtime::active_comm_config() (or resolves a
+/// full Context with Context::effective()).
+DCHAG_DEPRECATED_CONFIG_API("use runtime::active_comm_config()")
 [[nodiscard]] std::optional<CommConfig> comm_scope_override();
+
+#endif  // DCHAG_DEPRECATED_CONFIG
 
 }  // namespace dchag::comm

@@ -1,3 +1,6 @@
+// Shim TU: consumes the deprecated DchagOptions::kernels/comm overlays.
+#define DCHAG_ALLOW_DEPRECATED_CONFIG 1
+
 #include "core/dchag_frontend.hpp"
 
 #include <array>
@@ -9,10 +12,35 @@ using autograd::Variable;
 using tensor::Shape;
 using tensor::Tensor;
 
+namespace {
+
+/// Folds the deprecated per-options pins into the (optional) pinned
+/// context: a legacy field forces a pinned context so its value behaves
+/// exactly like the pre-Context thread-local scope it replaced.
+std::optional<runtime::Context> fold_legacy_options(
+    std::optional<runtime::Context> ctx, const DchagOptions& opts) {
+#ifdef DCHAG_DEPRECATED_CONFIG
+  if (opts.kernels || opts.comm) {
+    runtime::ContextBuilder b(ctx ? *ctx : runtime::Context::current());
+    if (opts.kernels) b.kernels(*opts.kernels);
+    if (opts.comm) b.comm(*opts.comm);
+    return b.build();
+  }
+#else
+  (void)opts;
+#endif
+  return ctx;
+}
+
+}  // namespace
+
 DchagFrontEnd::DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
                              Communicator& comm, const DchagOptions& opts,
-                             Rng& master_rng)
-    : cfg_(cfg), comm_(&comm), kernels_(opts.kernels), comm_cfg_(opts.comm) {
+                             Rng& master_rng,
+                             std::optional<runtime::Context> ctx)
+    : cfg_(cfg),
+      comm_(&comm),
+      ctx_(fold_legacy_options(std::move(ctx), opts)) {
   cfg_.validate();
   sync_coll_.emplace(comm);
   // The async progress lane is built lazily at the first async forward
@@ -44,10 +72,10 @@ DchagFrontEnd::DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
 }
 
 Variable DchagFrontEnd::forward_local_partial(const Tensor& images) const {
-  // Pin the configured backend for this rank's local stage (thread-local,
-  // so concurrent ranks don't fight over the process default).
-  std::optional<tensor::KernelScope> scope;
-  if (kernels_) scope.emplace(*kernels_);
+  // Scope into this front-end's effective context for the local stage
+  // (thread-local, so concurrent ranks don't fight over the process
+  // default, and pool workers inherit it across the fan-out).
+  runtime::Scope scope(effective_context());
   DCHAG_CHECK(images.rank() == 4 && images.dim(1) == local_channels(),
               "DchagFrontEnd expects the rank-local channel slice [B, "
                   << local_channels() << ", H, W], got "
@@ -64,8 +92,10 @@ comm::ICollective& DchagFrontEnd::collective_for(comm::CommMode mode) const {
 }
 
 Variable DchagFrontEnd::forward(const Tensor& images) const {
-  std::optional<tensor::KernelScope> scope;
-  if (kernels_) scope.emplace(*kernels_);
+  // One context resolution per forward: everything below (including the
+  // pipelined route and nested ops on pool workers) runs under it.
+  const runtime::Context ctx = effective_context();
+  runtime::Scope scope(ctx);
   const Index B = images.dim(0);
   const Index S = cfg_.seq_len();
   const Index D = cfg_.embed_dim;
@@ -73,9 +103,11 @@ Variable DchagFrontEnd::forward(const Tensor& images) const {
   // Pipelined route: micro-chunk the batch so gather traffic overlaps the
   // next chunk's compute. Needs at least 2 chunks to mean anything; the
   // K <= 1 route below stays the byte-for-byte original forward.
-  const comm::CommConfig cc = comm_config();
+  const comm::CommConfig cc = ctx.comm();
   const Index K =
       std::min<Index>(std::max<Index>(cc.pipeline_chunks, 1), B);
+  runtime::trace(ctx, "core.forward.pipeline_chunks",
+                 static_cast<double>(K));
   if (K > 1) return forward_pipelined(images, K, cc.mode);
 
   // 1-2. Local tokenization + partial aggregation to one representation.
@@ -148,8 +180,7 @@ Variable DchagFrontEnd::forward_pipelined(const Tensor& images, Index K,
 
 Variable DchagFrontEnd::forward_subset(
     const Tensor& images, std::span<const Index> channels) const {
-  std::optional<tensor::KernelScope> scope;
-  if (kernels_) scope.emplace(*kernels_);
+  runtime::Scope scope(effective_context());
   DCHAG_CHECK(images.rank() == 4 &&
                   images.dim(1) == static_cast<Index>(channels.size()),
               "forward_subset expects the full subset batch [B, "
@@ -238,13 +269,12 @@ Tensor DchagFrontEnd::slice_local_channels(const Tensor& full_images) const {
   return ops::slice(full_images, 1, comm_->rank() * c_local, c_local);
 }
 
-std::unique_ptr<model::MaeModel> make_dchag_mae(const ModelConfig& cfg,
-                                                Index total_channels,
-                                                Communicator& comm,
-                                                const DchagOptions& opts,
-                                                Rng& master_rng) {
-  auto frontend = std::make_unique<DchagFrontEnd>(cfg, total_channels, comm,
-                                                  opts, master_rng);
+std::unique_ptr<model::MaeModel> make_dchag_mae(
+    const ModelConfig& cfg, Index total_channels, Communicator& comm,
+    const DchagOptions& opts, Rng& master_rng,
+    std::optional<runtime::Context> ctx) {
+  auto frontend = std::make_unique<DchagFrontEnd>(
+      cfg, total_channels, comm, opts, master_rng, std::move(ctx));
   Rng task_rng = master_rng.fork(0x3AE);
   return std::make_unique<model::MaeModel>(cfg, std::move(frontend),
                                            total_channels, task_rng);
@@ -252,9 +282,10 @@ std::unique_ptr<model::MaeModel> make_dchag_mae(const ModelConfig& cfg,
 
 std::unique_ptr<model::ForecastModel> make_dchag_forecast(
     const ModelConfig& cfg, Index total_channels, Communicator& comm,
-    const DchagOptions& opts, Rng& master_rng) {
-  auto frontend = std::make_unique<DchagFrontEnd>(cfg, total_channels, comm,
-                                                  opts, master_rng);
+    const DchagOptions& opts, Rng& master_rng,
+    std::optional<runtime::Context> ctx) {
+  auto frontend = std::make_unique<DchagFrontEnd>(
+      cfg, total_channels, comm, opts, master_rng, std::move(ctx));
   Rng task_rng = master_rng.fork(0x3AF);
   return std::make_unique<model::ForecastModel>(cfg, std::move(frontend),
                                                 total_channels, task_rng);

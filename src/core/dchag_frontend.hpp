@@ -21,6 +21,7 @@
 #include "comm/async.hpp"
 #include "model/foundation.hpp"
 #include "parallel/dist_tokenizer.hpp"
+#include "runtime/context.hpp"
 #include "tensor/kernel_config.hpp"
 
 namespace dchag::core {
@@ -33,11 +34,17 @@ using tensor::Rng;
 
 struct DchagOptions {
   DchagOptions() = default;
-  /// Keeps the pre-kernel-backend two-field brace initialisation working
-  /// (and quiet) at every existing call site.
+  DchagOptions(Index units, AggLayerKind kind)
+      : tree_units(units), partial_kind(kind) {}
+#ifdef DCHAG_DEPRECATED_CONFIG
+  /// Pre-Context three-field form; the kernel backend belongs to the
+  /// runtime::Context argument of DchagFrontEnd now.
+  DCHAG_DEPRECATED_CONFIG_API(
+      "pass a runtime::Context to DchagFrontEnd instead")
   DchagOptions(Index units, AggLayerKind kind,
-               std::optional<tensor::KernelConfig> kernel_cfg = std::nullopt)
+               std::optional<tensor::KernelConfig> kernel_cfg)
       : tree_units(units), partial_kind(kind), kernels(kernel_cfg) {}
+#endif
 
   /// Paper's TreeN: number of first-level units in the partial module
   /// (0/1 = one unit over all local channels; Fig. 9's best is Tree0).
@@ -45,27 +52,38 @@ struct DchagOptions {
   /// -C (cross-attention) vs -L (linear) partial layers; the final shared
   /// aggregation is always cross-attention (paper §3.3).
   AggLayerKind partial_kind = AggLayerKind::kLinear;
-  /// Kernel backend pinned for this front-end's forward paths (thread-
-  /// local KernelScope). SPMD deployments typically pin kBlocked here:
-  /// the P rank threads already saturate the cores, so per-rank kernel
-  /// fan-out onto the shared pool only adds contention. Unset = inherit
-  /// the caller's / process config.
+
+#ifdef DCHAG_DEPRECATED_CONFIG
+  /// Pre-Context kernel pin. When set, it overlays the kernels field of
+  /// the front-end's Context; SPMD deployments now express the same
+  /// policy as Context::current().to_builder().kernel_backend(kBlocked)
+  /// on the Context they hand the front-end.
+  /// Deprecated: use ContextBuilder::kernels on the front-end Context.
   std::optional<tensor::KernelConfig> kernels;
-  /// Sync vs async collectives + forward pipeline depth. Defaults follow
-  /// DCHAG_COMM / DCHAG_COMM_CHUNKS so a whole binary flips modes from the
-  /// environment; comm::CommScope overrides per thread at forward time.
-  /// kSync with pipeline_chunks <= 1 is the original monolithic forward
-  /// (one blocking AllGather), kept verbatim as the parity oracle.
-  comm::CommConfig comm = comm::comm_config_from_env();
+  /// Pre-Context comm pin. When set, it overlays the comm field of the
+  /// front-end's Context (whose default already follows DCHAG_COMM /
+  /// DCHAG_COMM_CHUNKS via Context::from_env). kSync with
+  /// pipeline_chunks <= 1 is the original monolithic forward (one
+  /// blocking AllGather), kept verbatim as the parity oracle.
+  /// Deprecated: use ContextBuilder::comm on the front-end Context.
+  std::optional<comm::CommConfig> comm;
+#endif
 };
 
 class DchagFrontEnd : public model::FrontEnd {
  public:
   /// All ranks must construct with the same `master_rng` seed — the final
   /// aggregation weights are derived from it and must be replicated.
+  ///
+  /// `ctx` pins this front-end's execution configuration (kernel backend,
+  /// comm mode + pipeline depth, tracing). nullopt = unpinned: every
+  /// forward reads the ambient runtime::Context::current() at call time.
+  /// A pinned context is still outranked by any runtime::Scope active on
+  /// the forwarding thread (the precedence ladder in runtime/context.hpp).
   DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
                 Communicator& comm, const DchagOptions& opts,
-                Rng& master_rng);
+                Rng& master_rng,
+                std::optional<runtime::Context> ctx = std::nullopt);
 
   /// local_images: [B, C/P, H, W] (this rank's channels, rank order).
   /// Returns [B, S, D], identical on every rank.
@@ -103,10 +121,14 @@ class DchagFrontEnd : public model::FrontEnd {
     return *final_;
   }
   [[nodiscard]] Communicator& communicator() const { return *comm_; }
-  /// Effective comm config for a forward on this thread: the innermost
-  /// comm::CommScope if one is active, else this front-end's options.
+  /// The full effective context a forward on this thread would run under
+  /// (pinned construction context, if any, overlaid with active Scopes).
+  [[nodiscard]] runtime::Context effective_context() const {
+    return runtime::Context::effective_or_current(ctx_);
+  }
+  /// Effective comm config for a forward on this thread.
   [[nodiscard]] comm::CommConfig comm_config() const {
-    return comm::comm_scope_override().value_or(comm_cfg_);
+    return effective_context().comm();
   }
   /// Ledger of async collectives issued by pipelined forwards (null until
   /// the first async forward constructs the progress lane).
@@ -137,8 +159,9 @@ class DchagFrontEnd : public model::FrontEnd {
 
   ModelConfig cfg_;
   Communicator* comm_;
-  std::optional<tensor::KernelConfig> kernels_;
-  comm::CommConfig comm_cfg_;
+  /// Pinned execution context (nullopt = read the ambient context per
+  /// forward). Legacy DchagOptions::kernels/comm overlays land here too.
+  std::optional<runtime::Context> ctx_;
   mutable std::optional<comm::SyncCollective> sync_coll_;
   mutable std::unique_ptr<comm::AsyncCommunicator> async_;
   std::unique_ptr<parallel::DistributedTokenizer> tokenizer_;
@@ -147,12 +170,15 @@ class DchagFrontEnd : public model::FrontEnd {
 };
 
 /// Convenience: full D-CHAG MAE / forecast models (front-end + replicated
-/// encoder and head) built from one master seed.
+/// encoder and head) built from one master seed. `ctx` pins the
+/// front-end's execution context exactly as in DchagFrontEnd.
 [[nodiscard]] std::unique_ptr<model::MaeModel> make_dchag_mae(
     const ModelConfig& cfg, Index total_channels, Communicator& comm,
-    const DchagOptions& opts, Rng& master_rng);
+    const DchagOptions& opts, Rng& master_rng,
+    std::optional<runtime::Context> ctx = std::nullopt);
 [[nodiscard]] std::unique_ptr<model::ForecastModel> make_dchag_forecast(
     const ModelConfig& cfg, Index total_channels, Communicator& comm,
-    const DchagOptions& opts, Rng& master_rng);
+    const DchagOptions& opts, Rng& master_rng,
+    std::optional<runtime::Context> ctx = std::nullopt);
 
 }  // namespace dchag::core

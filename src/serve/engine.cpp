@@ -2,7 +2,9 @@
 
 namespace dchag::serve {
 
-Engine::Engine(model::ForecastModel& model) : model_(&model) {
+Engine::Engine(model::ForecastModel& model,
+               std::optional<runtime::Context> ctx)
+    : model_(&model), ctx_(std::move(ctx)) {
   model_->eval();
 }
 
@@ -11,6 +13,7 @@ Tensor Engine::run(const Tensor& images, const std::vector<Index>& channels,
   DCHAG_CHECK(!model_->is_training(),
               "serving requires an eval-mode model");
   autograd::NoGradGuard no_grad;
+  runtime::Scope ctx_scope(runtime::Context::effective_or_current(ctx_));
   if (channels.empty()) {
     // Full-channel request; strategy-agnostic input selection (identity
     // for the single-device front-end).

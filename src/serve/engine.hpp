@@ -10,8 +10,10 @@
 #pragma once
 
 #include <functional>
+#include <optional>
 
 #include "model/foundation.hpp"
+#include "runtime/context.hpp"
 
 namespace dchag::serve {
 
@@ -29,7 +31,13 @@ class Engine {
   /// The model must outlive the engine. It is switched to eval mode here;
   /// full-channel requests must carry exactly frontend().local_channels()
   /// channel slabs.
-  explicit Engine(model::ForecastModel& model);
+  ///
+  /// `ctx` pins the execution context every run() uses; nullopt =
+  /// unpinned, each run inherits the calling thread's effective context
+  /// (how Server workers hand theirs through). A runtime::Scope active
+  /// on the calling thread outranks a pinned context.
+  explicit Engine(model::ForecastModel& model,
+                  std::optional<runtime::Context> ctx = std::nullopt);
 
   /// Tape-free batched forward; `channels` empty means all channels,
   /// otherwise the subset routes through the front-end's partial-channel
@@ -44,6 +52,7 @@ class Engine {
 
  private:
   model::ForecastModel* model_;
+  std::optional<runtime::Context> ctx_;
 };
 
 }  // namespace dchag::serve

@@ -1,3 +1,6 @@
+// Shim TU: consumes the deprecated ServerConfig::kernels overlay.
+#define DCHAG_ALLOW_DEPRECATED_CONFIG 1
+
 #include "serve/server.hpp"
 
 #include <chrono>
@@ -21,10 +24,21 @@ double now_ms() {
 
 }  // namespace
 
-Server::Server(InferenceFn infer, ServerConfig cfg)
-    : infer_(std::move(infer)), cfg_(cfg), batcher_(cfg.batcher) {
+Server::Server(InferenceFn infer, ServerConfig cfg,
+               const runtime::Context& ctx)
+    : infer_(std::move(infer)),
+      cfg_(cfg),
+      // Capture the submitter's EFFECTIVE context: scopes active on the
+      // constructing thread fold in here and reach every worker.
+      ctx_(ctx.effective()),
+      batcher_(cfg.batcher) {
   DCHAG_CHECK(infer_ != nullptr, "Server needs an InferenceFn");
   DCHAG_CHECK(cfg_.num_workers >= 1, "Server needs >= 1 worker");
+#ifdef DCHAG_DEPRECATED_CONFIG
+  // Legacy per-worker kernel pin folds into the context workers inherit.
+  if (cfg_.kernels)
+    ctx_ = ctx_.to_builder().kernels(*cfg_.kernels).build();
+#endif
 }
 
 Server::~Server() { drain(); }
@@ -59,9 +73,9 @@ void Server::worker_loop() {
   // Serving is tape-free for the whole worker thread; every forward under
   // this guard allocates zero autograd nodes.
   autograd::NoGradGuard no_grad;
-  // Per-worker kernel backend (thread-local): see ServerConfig::kernels.
-  std::optional<tensor::KernelScope> kernels;
-  if (cfg_.kernels) kernels.emplace(*cfg_.kernels);
+  // Every worker runs under the server's captured context — the
+  // submitter's overrides reach here by construction.
+  runtime::Scope ctx_scope(ctx_);
   while (std::optional<Batch> batch = batcher_.pop()) {
     execute(std::move(*batch));
   }
@@ -92,6 +106,9 @@ void Server::execute(Batch batch) {
                     pred.dim(0) == static_cast<Index>(n),
                 "InferenceFn returned " << pred.shape().to_string()
                                         << " for a batch of " << n);
+
+    runtime::trace_here("serve.batch.size", static_cast<double>(n));
+    runtime::trace_here("serve.batch.forward_ms", forward_ms);
 
     for (std::size_t i = 0; i < n; ++i) {
       PendingRequest& p = batch.items[i];

@@ -12,6 +12,7 @@
 #include <thread>
 #include <vector>
 
+#include "runtime/context.hpp"
 #include "serve/batcher.hpp"
 #include "serve/engine.hpp"
 #include "serve/metrics.hpp"
@@ -25,24 +26,33 @@ struct ServerConfig {
   /// SpmdEngine serializes internally).
   int num_workers = 1;
   BatcherConfig batcher;
-  /// Kernel backend pinned per worker thread (thread-local KernelScope in
-  /// worker_loop). Workers never get private pools: on the parallel
-  /// backend all of them fan out onto the one process-wide ThreadPool,
-  /// whose lane count stays DCHAG_THREADS no matter how many workers run
-  /// — batches queue instead of oversubscribing cores. A many-worker
-  /// latency-oriented server typically pins kBlocked here so each worker
-  /// stays on its own core. Unset = inherit the process config.
-  ///
-  /// Scope caveat: the override lives on the WORKER thread, so it only
-  /// reaches engines that compute there (the single-device Engine). An
-  /// SpmdEngine forwards on its own rank threads — pin its backend via
-  /// DchagOptions::kernels in the rank-model factory instead.
+#ifdef DCHAG_DEPRECATED_CONFIG
+  /// Pre-Context per-worker kernel pin; overlays the kernels field of
+  /// the server's Context. A many-worker latency-oriented server
+  /// typically pins kBlocked so each worker stays on its own core —
+  /// express that as Context::current().to_builder().kernel_backend(
+  /// kBlocked) on the Context handed to the Server now. Unset = inherit.
+  /// Deprecated: use ContextBuilder::kernels on the Server Context.
   std::optional<tensor::KernelConfig> kernels;
+#endif
 };
 
 class Server {
  public:
-  Server(InferenceFn infer, ServerConfig cfg);
+  /// `ctx` (default: the CONSTRUCTING thread's effective context) is the
+  /// server's execution context: every worker thread scopes into it, so
+  /// an override active where the server is built — kernel backend,
+  /// tracing sink — reaches every worker forward by construction. The
+  /// pre-Context footgun ("a scope set on the caller silently does not
+  /// reach worker threads") is gone: workers inherit, always.
+  ///
+  /// Workers never get private pools: on the parallel backend all of
+  /// them fan out onto the context's ThreadPool (the process-wide pool
+  /// unless the context pins another), whose lane count is fixed no
+  /// matter how many workers run — batches queue instead of
+  /// oversubscribing cores.
+  Server(InferenceFn infer, ServerConfig cfg,
+         const runtime::Context& ctx = runtime::Context::current());
   /// Drains on destruction: closes the batcher, finishes parked work,
   /// joins workers.
   ~Server();
@@ -64,6 +74,8 @@ class Server {
   [[nodiscard]] const Metrics& metrics() const { return metrics_; }
   [[nodiscard]] std::size_t queue_depth() const { return batcher_.depth(); }
   [[nodiscard]] const ServerConfig& config() const { return cfg_; }
+  /// The execution context workers run under.
+  [[nodiscard]] const runtime::Context& context() const { return ctx_; }
 
  private:
   void worker_loop();
@@ -71,6 +83,7 @@ class Server {
 
   InferenceFn infer_;
   ServerConfig cfg_;
+  runtime::Context ctx_;
   Batcher batcher_;
   Metrics metrics_;
   std::vector<std::thread> workers_;

@@ -1,23 +1,36 @@
+// Shim TU: consumes the deprecated SpmdEngineConfig::fault_plan slot.
+#define DCHAG_ALLOW_DEPRECATED_CONFIG 1
+
 #include "serve/spmd_engine.hpp"
 
 namespace dchag::serve {
 
 SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory,
-                       SpmdEngineConfig cfg)
-    : ranks_(ranks) {
+                       SpmdEngineConfig cfg, const runtime::Context& ctx)
+    // Capture the submitter's EFFECTIVE context: scopes active on the
+    // constructing thread fold in here and reach every rank thread.
+    : ranks_(ranks), ctx_(ctx.effective()) {
   DCHAG_CHECK(ranks_ >= 1, "SpmdEngine needs >= 1 rank");
   DCHAG_CHECK(factory != nullptr, "SpmdEngine needs a model factory");
-  world_thread_ = std::thread([this, factory = std::move(factory),
-                               cfg = std::move(cfg)] {
+#ifdef DCHAG_DEPRECATED_CONFIG
+  if (cfg.fault_plan)
+    ctx_ = ctx_.to_builder().fault_plan(cfg.fault_plan).build();
+#else
+  (void)cfg;  // empty struct once the deprecated fault slot is compiled out
+#endif
+  world_thread_ = std::thread([this, factory = std::move(factory)] {
     try {
       comm::World world(ranks_);
-      if (cfg.fault_plan) world.set_fault_plan(cfg.fault_plan);
+      if (ctx_.fault_plan()) world.set_fault_plan(ctx_.fault_plan());
       world.run([&](comm::Communicator& comm) {
+        // Rank threads run under the engine's context: the factory's
+        // front-ends inherit its kernel/comm policy unless they pin
+        // their own. A typical SPMD deployment pins kBlocked on the
+        // engine context so P concurrent ranks don't contend for the
+        // shared ThreadPool (they ARE the parallelism).
+        runtime::Scope ctx_scope(ctx_);
         // Tape-free for the lifetime of this rank thread: serving never
-        // records autograd history. Kernel backend policy belongs to the
-        // factory: build the front-end with DchagOptions::kernels =
-        // kBlocked so P concurrent ranks don't contend for the shared
-        // ThreadPool (they ARE the parallelism).
+        // records autograd history.
         autograd::NoGradGuard no_grad;
         std::unique_ptr<model::ForecastModel> model;
         try {

@@ -15,21 +15,24 @@
 
 #include "comm/communicator.hpp"
 #include "comm/fault.hpp"
+#include "runtime/context.hpp"
 #include "serve/engine.hpp"
 
 namespace dchag::serve {
 
-/// Knobs for the engine's internal World. The async-vs-sync comm mode is
-/// NOT here: it belongs to the rank model (set DchagOptions::comm in the
-/// factory), because collectives are issued by the front-end. What the
-/// engine owns is the substrate — and, for tests/benches, the option to
-/// make that substrate adversarial.
+/// Structural knobs for the engine's internal World. Execution policy —
+/// comm mode, kernel backend, and the fault plan installed on the World
+/// — lives in the runtime::Context the engine is constructed with; rank
+/// threads scope into that context, so the factory's front-ends inherit
+/// it unless the factory pins its own.
 struct SpmdEngineConfig {
-  /// Deterministic fault injection (delays, stragglers, drop-with-retry)
-  /// installed on the engine's World. The serving path must stay live and
-  /// deadlock-free under it; tests assert tail-latency metrics still
-  /// populate.
+#ifdef DCHAG_DEPRECATED_CONFIG
+  /// Pre-Context fault slot; overlays the Context's fault_plan. The
+  /// serving path must stay live and deadlock-free under a plan; tests
+  /// assert tail-latency metrics still populate.
+  /// Deprecated: use ContextBuilder::fault_plan on the engine Context.
   std::shared_ptr<const comm::FaultPlan> fault_plan;
+#endif
 };
 
 class SpmdEngine {
@@ -43,8 +46,13 @@ class SpmdEngine {
 
   /// Spawns `ranks` worker ranks and blocks until every rank's model is
   /// constructed (cold start). Throws if any rank fails to construct.
-  SpmdEngine(int ranks, RankModelFactory factory,
-             SpmdEngineConfig cfg = {});
+  ///
+  /// `ctx` (default: the CONSTRUCTING thread's effective context) is the
+  /// engine's execution context: its fault_plan installs on the World
+  /// and every rank thread scopes into it, so caller-side overrides
+  /// reach the rank-local forwards by construction.
+  SpmdEngine(int ranks, RankModelFactory factory, SpmdEngineConfig cfg = {},
+             const runtime::Context& ctx = runtime::Context::current());
   ~SpmdEngine();
   SpmdEngine(const SpmdEngine&) = delete;
   SpmdEngine& operator=(const SpmdEngine&) = delete;
@@ -75,6 +83,7 @@ class SpmdEngine {
   void stop_and_join();
 
   int ranks_;
+  runtime::Context ctx_;
   std::thread world_thread_;
 
   std::mutex run_mu_;  // serializes run() callers

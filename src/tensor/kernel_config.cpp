@@ -1,10 +1,12 @@
+// Shim TU: reads the unified runtime::Context and applies the CPU
+// capability degrade. Reading the deprecated surface it implements must
+// not warn here.
+#define DCHAG_ALLOW_DEPRECATED_CONFIG 1
+
 #include "tensor/kernel_config.hpp"
 
-#include <atomic>
 #include <cstdio>
-#include <cstdlib>
 #include <mutex>
-#include <optional>
 
 #include "tensor/gemm.hpp"
 
@@ -12,105 +14,38 @@ namespace dchag::tensor {
 
 namespace {
 
-thread_local std::optional<KernelConfig> t_override;
-
-// KernelConfig is 8 trivially-copyable bytes, so the process default is
-// a lock-free atomic: kernel_config() sits on every hot-op dispatch and
-// must not serialize rank/worker threads on a mutex.
-std::atomic<KernelConfig> g_config{KernelConfig{}};
-std::once_flag g_init_once;
-
 /// Downgrades blocked/parallel to naive (one stderr warning per process)
 /// when the blocked TU was compiled for SIMD this CPU lacks.
-KernelConfig sanitize(KernelConfig cfg, const char* origin) {
+KernelConfig sanitize(KernelConfig cfg) {
   if (cfg.backend != KernelBackend::kNaive && !blocked_kernels_supported()) {
+    // One informational line per process, phrased as what happens — the
+    // non-naive backend may be nothing more than the built-in default,
+    // so this must not read as a user misconfiguration.
     static std::once_flag warn_once;
     std::call_once(warn_once, [&] {
       std::fprintf(stderr,
-                   "dchag: %s requested the %s kernel backend but this CPU "
-                   "lacks the SIMD level the blocked kernels were compiled "
-                   "for; degrading to naive\n",
-                   origin, to_string(cfg.backend));
+                   "dchag: this CPU lacks the SIMD level the blocked "
+                   "kernels were compiled for; running the naive kernel "
+                   "backend instead of %s\n",
+                   to_string(cfg.backend));
     });
     cfg.backend = KernelBackend::kNaive;
   }
   return cfg;
 }
 
-KernelConfig config_from_env() {
-  KernelConfig cfg;
-  cfg.backend = blocked_kernels_supported() ? KernelBackend::kParallel
-                                            : KernelBackend::kNaive;
-  if (const char* k = std::getenv("DCHAG_KERNEL"); k != nullptr && *k) {
-    cfg.backend = parse_backend(k);
-  }
-  cfg.threads = detail::env_int("DCHAG_THREADS", 0, 4096, cfg.threads);
-  return sanitize(cfg, "DCHAG_KERNEL");
-}
-
-void ensure_initialised() {
-  std::call_once(g_init_once,
-                 [] { g_config.store(config_from_env(),
-                                     std::memory_order_relaxed); });
-}
-
 }  // namespace
 
 KernelConfig kernel_config() {
-  if (t_override.has_value()) return *t_override;
-  ensure_initialised();
-  return g_config.load(std::memory_order_relaxed);
+  return sanitize(runtime::active_kernel_config());
 }
 
+#ifdef DCHAG_DEPRECATED_CONFIG
 void set_kernel_config(KernelConfig cfg) {
-  // Run env init first so a later first kernel_config() call can't
-  // clobber this explicit setting with the environment default.
-  ensure_initialised();
-  g_config.store(sanitize(cfg, "set_kernel_config"),
-                 std::memory_order_relaxed);
+  runtime::Context::set_process_default(
+      runtime::Context::process_default().to_builder().kernels(cfg).build());
 }
-
-KernelScope::KernelScope(KernelConfig cfg) {
-  had_prev_ = t_override.has_value();
-  if (had_prev_) prev_ = *t_override;
-  t_override = sanitize(cfg, "KernelScope");
-}
-
-KernelScope::~KernelScope() {
-  if (had_prev_) {
-    t_override = prev_;
-  } else {
-    t_override.reset();
-  }
-}
-
-KernelBackend parse_backend(const std::string& name) {
-  if (name == "naive") return KernelBackend::kNaive;
-  if (name == "blocked") return KernelBackend::kBlocked;
-  if (name == "parallel") return KernelBackend::kParallel;
-  DCHAG_FAIL("unknown kernel backend '" << name
-                                        << "' (want naive|blocked|parallel)");
-}
-
-const char* to_string(KernelBackend b) {
-  switch (b) {
-    case KernelBackend::kNaive: return "naive";
-    case KernelBackend::kBlocked: return "blocked";
-    case KernelBackend::kParallel: return "parallel";
-  }
-  return "?";
-}
-
-namespace detail {
-int env_int(const char* name, int lo, int hi, int fallback) {
-  const char* v = std::getenv(name);
-  if (v == nullptr || *v == '\0') return fallback;
-  char* end = nullptr;
-  const long parsed = std::strtol(v, &end, 10);
-  if (end == v || *end != '\0' || parsed < lo || parsed > hi) return fallback;
-  return static_cast<int>(parsed);
-}
-}  // namespace detail
+#endif
 
 bool blocked_kernels_supported() {
 #if defined(__x86_64__) || defined(_M_X64)

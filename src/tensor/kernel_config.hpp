@@ -9,66 +9,62 @@
 //   kParallel — kBlocked plus ThreadPool::parallel_for fan-out. Produces
 //               bit-identical results to kBlocked at any thread count.
 //
-// Process defaults come from the environment:
-//   DCHAG_KERNEL  = naive | blocked | parallel   (default: parallel)
-//   DCHAG_THREADS = total lanes incl. the caller (default: hw concurrency)
-//
-// set_kernel_config() changes the process default; KernelScope overrides
-// it for the current thread only (RAII), which is how serve workers and
-// SPMD rank threads pin a backend without racing each other.
+// The selection itself lives in the unified runtime::Context
+// (runtime/context.hpp): KernelConfig/KernelBackend are aliases of the
+// runtime types, kernel_config() reads the calling thread's effective
+// context (innermost runtime::Scope, else the process default, which
+// Context::from_env() initialises from DCHAG_KERNEL / DCHAG_THREADS),
+// and the pre-Context KernelScope / set_kernel_config surface survives
+// only as deprecated shims behind DCHAG_DEPRECATED_CONFIG.
 #pragma once
 
 #include <string>
 
+#include "runtime/context.hpp"
 #include "tensor/shape.hpp"
 
 namespace dchag::tensor {
 
-enum class KernelBackend { kNaive, kBlocked, kParallel };
+using KernelBackend = runtime::KernelBackend;
+using KernelConfig = runtime::KernelConfig;
 
-struct KernelConfig {
-  KernelBackend backend = KernelBackend::kParallel;
-  /// Max lanes a single parallel_for of this scope may occupy (caller
-  /// included). 0 = whole pool. Does not resize the process pool.
-  int threads = 0;
-};
+// parse_backend / to_string kept reachable under their historical names.
+using runtime::parse_backend;
+using runtime::to_string;
 
-/// Effective config for the calling thread: innermost KernelScope if one
-/// is active, else the process default (env-initialised on first use).
+/// Effective config for the calling thread — the kernels field of the
+/// effective runtime::Context — degraded to kNaive (one-time stderr
+/// warning) when this CPU lacks the SIMD level the blocked kernels were
+/// compiled for.
 [[nodiscard]] KernelConfig kernel_config();
 
-/// Replaces the process default (not thread-local overrides).
+/// False when gemm.cpp was compiled with SIMD flags this CPU lacks.
+/// Every blocked/parallel request then degrades to kNaive at dispatch —
+/// never a fault, never an exception, so exotic hosts still run.
+[[nodiscard]] bool blocked_kernels_supported();
+
+#ifdef DCHAG_DEPRECATED_CONFIG
+
+/// Replaces the kernels field of the process-default runtime::Context.
+DCHAG_DEPRECATED_CONFIG_API(
+    "use runtime::Context::set_process_default (or a runtime::Scope)")
 void set_kernel_config(KernelConfig cfg);
 
-/// Thread-local backend override, e.g. one serve worker pinning kBlocked
-/// while other workers keep the process default. Nestable.
-class KernelScope {
+/// Pre-Context thread-local override. Thin shim over runtime::Scope with
+/// a kernels-only patch: nesting, worker propagation, and precedence are
+/// the runtime stack's.
+class DCHAG_DEPRECATED_CONFIG_API(
+    "use runtime::Scope with ContextPatch::with_kernels") KernelScope {
  public:
-  explicit KernelScope(KernelConfig cfg);
-  ~KernelScope();
+  explicit KernelScope(KernelConfig cfg)
+      : scope_(runtime::ContextPatch::with_kernels(cfg)) {}
   KernelScope(const KernelScope&) = delete;
   KernelScope& operator=(const KernelScope&) = delete;
 
  private:
-  KernelConfig prev_;
-  bool had_prev_;
+  runtime::Scope scope_;
 };
 
-/// "naive" | "blocked" | "parallel" -> backend; throws on anything else.
-[[nodiscard]] KernelBackend parse_backend(const std::string& name);
-[[nodiscard]] const char* to_string(KernelBackend b);
-
-namespace detail {
-/// Shared bounded env-int parse (DCHAG_THREADS etc.): returns `fallback`
-/// unless the variable is a bare integer in [lo, hi]. One definition so
-/// pool sizing and KernelConfig can never disagree about the same var.
-[[nodiscard]] int env_int(const char* name, int lo, int hi, int fallback);
-}  // namespace detail
-
-/// False when gemm.cpp was compiled with SIMD flags this CPU lacks.
-/// Every request for blocked/parallel (env, set_kernel_config,
-/// KernelScope) then degrades to kNaive with a one-time stderr warning —
-/// never a fault, never an exception, so exotic hosts still run.
-[[nodiscard]] bool blocked_kernels_supported();
+#endif  // DCHAG_DEPRECATED_CONFIG
 
 }  // namespace dchag::tensor

@@ -233,8 +233,7 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
     const Index grain =
         std::max<Index>(1, (1 << 20) / std::max<Index>(1, flops_per_row));
     if (cfg.backend == KernelBackend::kParallel) {
-      ThreadPool::global().parallel_for(batch * M, grain, run_rows,
-                                        cfg.threads);
+      active_pool().parallel_for(batch * M, grain, run_rows, cfg.threads);
     } else {
       run_rows(0, batch * M);
     }

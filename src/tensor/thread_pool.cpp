@@ -5,7 +5,9 @@
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <optional>
 
+#include "runtime/context.hpp"
 #include "tensor/kernel_config.hpp"
 
 namespace dchag::tensor {
@@ -29,6 +31,9 @@ struct ParallelJob {
   Index chunk = 0;
   Index nchunks = 0;
   const std::function<void(Index, Index)>* fn = nullptr;
+  /// The submitter's effective context; workers (not the caller, who
+  /// already carries it) scope into this before running chunks.
+  const runtime::Context* ctx = nullptr;
 
   std::atomic<Index> next{0};
   std::atomic<Index> completed{0};
@@ -87,7 +92,12 @@ struct ThreadPool::Impl {
         jobs.pop_front();
         job->active.fetch_add(1, std::memory_order_relaxed);
       }
-      job->run_chunks();
+      {
+        // Chunks observe the submitting thread's effective context —
+        // overrides cross the fan-out instead of stopping at the pool.
+        runtime::Scope ctx_scope(*job->ctx);
+        job->run_chunks();
+      }
       job->worker_done();
     }
   }
@@ -112,12 +122,23 @@ ThreadPool::~ThreadPool() {
 
 ThreadPool& ThreadPool::global() {
   static ThreadPool pool([] {
+    // Sized from the ENVIRONMENT's thread budget (Context::from_env
+    // reads DCHAG_THREADS), deliberately not from the mutable process
+    // default: KernelConfig::threads on a Context is a per-parallel_for
+    // lane cap and must never resize the process pool. 0 = one lane per
+    // hardware thread; the caller of a parallel_for is a lane, so the
+    // pool spawns lanes - 1 workers.
     const int hw = static_cast<int>(std::thread::hardware_concurrency());
-    const int lanes =
-        detail::env_int("DCHAG_THREADS", 0, 4096, std::max(1, hw));
+    int lanes = runtime::Context::from_env().kernels().threads;
+    if (lanes <= 0) lanes = std::max(1, hw);
     return std::max(0, lanes - 1);
   }());
   return pool;
+}
+
+ThreadPool& active_pool() {
+  ThreadPool* pool = runtime::active_pool_handle();
+  return pool != nullptr ? *pool : ThreadPool::global();
 }
 
 bool ThreadPool::in_parallel_region() { return t_in_parallel_region; }
@@ -143,6 +164,8 @@ void ThreadPool::parallel_for(Index n, Index grain,
   // begin lies past n, handing fn an inverted range.
   job.nchunks = (n + job.chunk - 1) / job.chunk;
   job.fn = &fn;
+  const runtime::Context submitter_ctx = runtime::Context::current();
+  job.ctx = &submitter_ctx;
 
   {
     std::lock_guard<std::mutex> lock(impl_->mu);

@@ -30,8 +30,11 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Process-wide pool, sized on first use to DCHAG_THREADS - 1 workers
-  /// (default: hardware_concurrency - 1; the caller is the final lane).
+  /// Process-wide pool, sized on first use from the environment's
+  /// thread budget (DCHAG_THREADS via Context::from_env()) minus the
+  /// caller lane; default: hardware_concurrency - 1. A Context's
+  /// KernelConfig::threads only CAPS individual parallel_fors — it
+  /// never resizes this pool.
   static ThreadPool& global();
 
   [[nodiscard]] int workers() const { return static_cast<int>(threads_.size()); }
@@ -45,6 +48,11 @@ class ThreadPool {
   /// when the range is small, the pool has no workers, or the call is
   /// nested inside another parallel_for. `max_lanes` > 0 caps the number
   /// of chunks (KernelConfig::threads plumbs through here).
+  ///
+  /// Pool workers run their chunks under the SUBMITTER's effective
+  /// runtime::Context (captured here, installed as a runtime::Scope on
+  /// the worker), so overrides active on the calling thread — backend,
+  /// tracing sink, everything — follow the work across the fan-out.
   void parallel_for(Index n, Index grain,
                     const std::function<void(Index, Index)>& fn,
                     int max_lanes = 0);
@@ -58,5 +66,10 @@ class ThreadPool {
   std::unique_ptr<Impl> impl_;
   std::vector<std::thread> threads_;
 };
+
+/// The pool the calling thread's effective runtime::Context designates:
+/// Context::pool() when set, else the process-wide global() pool. All
+/// kernel fan-out (dispatch.hpp, ops.cpp) routes through here.
+[[nodiscard]] ThreadPool& active_pool();
 
 }  // namespace dchag::tensor

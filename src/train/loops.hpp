@@ -11,6 +11,7 @@
 
 #include "comm/async.hpp"
 #include "model/foundation.hpp"
+#include "runtime/context.hpp"
 #include "tensor/kernel_config.hpp"
 #include "train/optim.hpp"
 
@@ -22,18 +23,21 @@ struct LoopConfig {
   float mask_ratio = 0.75f;  // MAE only
   AdamConfig adam{};
   std::uint64_t data_seed = 1234;
-  /// Kernel backend pinned for the whole loop (thread-local KernelScope
-  /// on the calling thread). SPMD rank threads pass kBlocked so P ranks
-  /// training side by side don't contend for the shared pool; a
-  /// single-process run keeps the parallel default. Unset = inherit.
+#ifdef DCHAG_DEPRECATED_CONFIG
+  /// Pre-Context kernel pin for the whole loop; overlays the kernels
+  /// field of the loop's Context. SPMD rank threads used to pass
+  /// kBlocked here so P ranks training side by side don't contend for
+  /// the shared pool — express that as a runtime::Context argument (or
+  /// an enclosing runtime::Scope) now. Unset = inherit.
+  /// Deprecated: use ContextBuilder::kernels on the loop Context.
   std::optional<tensor::KernelConfig> kernels;
-  /// Comm mode pinned for the whole loop (thread-local comm::CommScope on
-  /// the calling thread): sync is the parity oracle, async overlaps the
+  /// Pre-Context comm pin for the whole loop; overlays the comm field of
+  /// the loop's Context. sync is the parity oracle, async overlaps the
   /// D-CHAG gather with the next micro-chunk's compute. Every rank of an
-  /// SPMD group must pass the same value — the scope changes which
-  /// collectives the front-end issues. Unset = inherit the front-end's
-  /// DchagOptions::comm.
+  /// SPMD group must pass the same value. Unset = inherit.
+  /// Deprecated: use ContextBuilder::comm on the loop Context.
   std::optional<comm::CommConfig> comm;
+#endif
 };
 
 struct TrainCurve {
@@ -53,16 +57,23 @@ struct TrainCurve {
 /// Runs MAE pretraining. `next_batch(step)` must return the FULL-channel
 /// image batch [B, C, H, W] and be deterministic in `step` so all ranks
 /// agree. Masks derive from (data_seed, step).
+///
+/// `ctx` pins the loop's execution context (whole loop runs under a
+/// runtime::Scope of it); nullopt = inherit the calling thread's
+/// effective context. Every rank of an SPMD group must pass an
+/// equivalent comm configuration.
 [[nodiscard]] TrainCurve train_mae(
     model::MaeModel& mae, const LoopConfig& cfg,
-    const std::function<tensor::Tensor(tensor::Index)>& next_batch);
+    const std::function<tensor::Tensor(tensor::Index)>& next_batch,
+    std::optional<runtime::Context> ctx = std::nullopt);
 
 /// Runs forecast training; `next_pair(step)` returns (input, target) full
-/// batches.
+/// batches. `ctx` as in train_mae.
 [[nodiscard]] TrainCurve train_forecast(
     model::ForecastModel& fm, const LoopConfig& cfg,
     const std::function<std::pair<tensor::Tensor, tensor::Tensor>(
-        tensor::Index)>& next_pair);
+        tensor::Index)>& next_pair,
+    std::optional<runtime::Context> ctx = std::nullopt);
 
 /// Per-channel test RMSE of a forecast model over `batches` evaluation
 /// pairs (paper Fig. 12's Z500/T850/U10 metrics pick channels of this).

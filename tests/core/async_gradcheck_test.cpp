@@ -15,7 +15,6 @@ namespace ops = tensor::ops;
 using autograd::Variable;
 using comm::CommConfig;
 using comm::CommMode;
-using comm::CommScope;
 using comm::World;
 using tensor::Rng;
 using tensor::Shape;
@@ -57,8 +56,13 @@ TEST(AsyncGradcheck, PipelinedForwardParamsGradcheckSingleRank) {
   world.run([&](parallel::Communicator& comm) {
     Rng master(99);
     DchagOptions opts{1, model::AggLayerKind::kLinear};
-    opts.comm = CommConfig{CommMode::kAsync, /*pipeline_chunks=*/2};
-    DchagFrontEnd fe(cfg, C, comm, opts, master);
+    // Derive from the ambient context so only the comm field is pinned.
+    DchagFrontEnd fe(cfg, C, comm, opts, master,
+                     runtime::Context::current()
+                         .to_builder()
+                         .comm(CommConfig{CommMode::kAsync,
+                                          /*pipeline_chunks=*/2})
+                         .build());
     Variable combine;
     for (const Variable& p : fe.partial_tree().parameters()) {
       if (p.name().find(".combine") != std::string::npos) combine = p;
@@ -95,7 +99,8 @@ TEST(AsyncGradcheck, TrainModeGradParitySyncVsAsyncUnderFaults) {
     auto params = fe.parameters();
 
     auto run_backward = [&](CommMode mode) {
-      CommScope scope(CommConfig{mode, /*pipeline_chunks=*/4});
+      runtime::Scope scope(runtime::ContextPatch::with_comm(
+          CommConfig{mode, /*pipeline_chunks=*/4}));
       for (Variable& p : params) p.zero_grad();
       const std::uint64_t tape_before = autograd::tape_nodes_created();
       Variable out = fe.forward(local);

@@ -14,7 +14,6 @@ namespace ops = tensor::ops;
 using autograd::Variable;
 using comm::CommConfig;
 using comm::CommMode;
-using comm::CommScope;
 using comm::FaultSpec;
 using comm::FaultyWorld;
 using tensor::Rng;
@@ -53,18 +52,20 @@ TEST(AsyncStress, SixtyFourSchedulesBitIdenticalSyncVsAsync) {
       autograd::NoGradGuard no_grad;
       Rng master(4242);
       // One model, one weight set; only the comm schedule differs between
-      // the two forwards (CommScope flips the mode thread-locally). Same
+      // the two forwards (runtime::Scope flips the mode thread-locally). Same
       // pipeline depth on both sides so the chunked arithmetic matches.
       DchagFrontEnd fe(cfg, C, comm,
                        {1, model::AggLayerKind::kLinear}, master);
       Tensor local = fe.slice_local_channels(img);
       Tensor sync_out, async_out;
       {
-        CommScope scope(CommConfig{CommMode::kSync, /*pipeline_chunks=*/4});
+        runtime::Scope scope(runtime::ContextPatch::with_comm(
+            CommConfig{CommMode::kSync, /*pipeline_chunks=*/4}));
         sync_out = fe.forward(local).value();
       }
       {
-        CommScope scope(CommConfig{CommMode::kAsync, /*pipeline_chunks=*/4});
+        runtime::Scope scope(runtime::ContextPatch::with_comm(
+            CommConfig{CommMode::kAsync, /*pipeline_chunks=*/4}));
         async_out = fe.forward(local).value();
       }
       ASSERT_EQ(ops::max_abs_diff(sync_out, async_out), 0.0f)
@@ -73,7 +74,8 @@ TEST(AsyncStress, SixtyFourSchedulesBitIdenticalSyncVsAsync) {
       // oracle too (same values, chunked along the batch only).
       Tensor mono;
       {
-        CommScope scope(CommConfig{CommMode::kSync, /*pipeline_chunks=*/1});
+        runtime::Scope scope(runtime::ContextPatch::with_comm(
+            CommConfig{CommMode::kSync, /*pipeline_chunks=*/1}));
         mono = fe.forward(local).value();
       }
       ASSERT_LT(ops::max_abs_diff(mono, async_out), 1e-5f)

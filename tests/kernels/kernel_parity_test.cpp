@@ -28,8 +28,14 @@ const bool kForceLanes = [] {
   return true;
 }();
 
+/// Kernels-only patch for the unified override stack (threads = whole
+/// pool).
+runtime::ContextPatch backend_patch(KernelBackend b) {
+  return runtime::ContextPatch::with_kernels({b, 0});
+}
+
 Tensor run_matmul(KernelBackend b, const Tensor& x, const Tensor& y) {
-  KernelScope scope({b, 0});
+  runtime::Scope scope(backend_patch(b));
   return ops::matmul(x, y);
 }
 
@@ -75,7 +81,7 @@ TEST(MatmulParity, Rank3BatchesAndSharedB) {
 TEST(MatmulParity, EmptyDims) {
   for (KernelBackend b : {KernelBackend::kNaive, KernelBackend::kBlocked,
                           KernelBackend::kParallel}) {
-    KernelScope scope({b, 0});
+    runtime::Scope scope(backend_patch(b));
     Tensor a(Shape{0, 5});
     Tensor w(Shape{5, 3});
     Tensor c = ops::matmul(a, w);
@@ -95,7 +101,7 @@ TEST(MatmulParity, FlopLedgerIdenticalAcrossBackends) {
   int i = 0;
   for (KernelBackend be : {KernelBackend::kNaive, KernelBackend::kBlocked,
                            KernelBackend::kParallel}) {
-    KernelScope scope({be, 0});
+    runtime::Scope scope(backend_patch(be));
     ops::reset_flops();
     (void)ops::matmul(a, b);
     counts[i++] = ops::flops_executed();
@@ -115,13 +121,13 @@ TEST(ElementwiseParity, ParallelMatchesNaiveAboveFanoutThreshold) {
   Tensor b = rng.normal_tensor(Shape{257, 300});
   Tensor gold_add, gold_gelu, gold_sm;
   {
-    KernelScope scope({KernelBackend::kNaive, 0});
+    runtime::Scope scope(backend_patch(KernelBackend::kNaive));
     gold_add = ops::add(a, b);
     gold_gelu = ops::gelu(a);
     gold_sm = ops::softmax_lastdim(a);
   }
   {
-    KernelScope scope({KernelBackend::kParallel, 0});
+    runtime::Scope scope(backend_patch(KernelBackend::kParallel));
     EXPECT_EQ(ops::max_abs_diff(ops::add(a, b), gold_add), 0.0f);
     EXPECT_EQ(ops::max_abs_diff(ops::gelu(a), gold_gelu), 0.0f);
     EXPECT_EQ(ops::max_abs_diff(ops::softmax_lastdim(a), gold_sm), 0.0f);
@@ -136,12 +142,12 @@ TEST(SumDimParity, ParallelSplitsBothOuterAndInnerForms) {
   Tensor batched = rng.normal_tensor(Shape{48, 33, 700});
   Tensor gold0, gold1;
   {
-    KernelScope scope({KernelBackend::kNaive, 0});
+    runtime::Scope scope(backend_patch(KernelBackend::kNaive));
     gold0 = ops::sum_dim(flat, 0);
     gold1 = ops::sum_dim(batched, 1);
   }
   {
-    KernelScope scope({KernelBackend::kParallel, 0});
+    runtime::Scope scope(backend_patch(KernelBackend::kParallel));
     EXPECT_EQ(ops::max_abs_diff(ops::sum_dim(flat, 0), gold0), 0.0f);
     EXPECT_EQ(ops::max_abs_diff(ops::sum_dim(batched, 1), gold1), 0.0f);
   }
@@ -156,11 +162,11 @@ TEST(LayerNormParity, ParallelMatchesNaive) {
   Tensor be = rng.normal_tensor(Shape{64});
   ops::LayerNormResult gold, par;
   {
-    KernelScope scope({KernelBackend::kNaive, 0});
+    runtime::Scope scope(backend_patch(KernelBackend::kNaive));
     gold = ops::layernorm(a, g, be);
   }
   {
-    KernelScope scope({KernelBackend::kParallel, 0});
+    runtime::Scope scope(backend_patch(KernelBackend::kParallel));
     par = ops::layernorm(a, g, be);
   }
   EXPECT_EQ(ops::max_abs_diff(gold.y, par.y), 0.0f);
@@ -179,11 +185,13 @@ TEST(KernelConfig, ParseAndRoundTrip) {
 TEST(KernelConfig, ScopeOverridesAndRestores) {
   const KernelConfig before = kernel_config();
   {
-    KernelScope outer({KernelBackend::kNaive, 2});
+    runtime::Scope outer(
+        runtime::ContextPatch::with_kernels({KernelBackend::kNaive, 2}));
     EXPECT_EQ(kernel_config().backend, KernelBackend::kNaive);
     EXPECT_EQ(kernel_config().threads, 2);
     {
-      KernelScope inner({KernelBackend::kBlocked, 0});
+      runtime::Scope inner(
+          runtime::ContextPatch::with_kernels({KernelBackend::kBlocked, 0}));
       EXPECT_EQ(kernel_config().backend, KernelBackend::kBlocked);
     }
     EXPECT_EQ(kernel_config().backend, KernelBackend::kNaive);

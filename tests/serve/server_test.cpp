@@ -282,6 +282,56 @@ TEST(CheckpointColdStart, TruncatedAndCorruptFilesFailLoudly) {
   std::remove(path.c_str());
 }
 
+TEST(Server, WorkersInheritConstructorSideContextOverride) {
+  // Regression for the pre-Context footgun: "a scope set on the caller
+  // silently does not reach worker threads". A runtime::Scope active
+  // where the Server is BUILT must be what its workers forward under —
+  // observed here inside the InferenceFn on the worker thread.
+  std::mutex mu;
+  std::vector<tensor::KernelBackend> observed;
+  auto infer = [&](const Tensor& images, const std::vector<Index>&,
+                   float) {
+    {
+      std::lock_guard<std::mutex> lock(mu);
+      observed.push_back(tensor::kernel_config().backend);
+    }
+    return Tensor(Shape{images.dim(0), 1, 1});
+  };
+
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.batcher.max_batch = 1;
+  std::optional<Server> server;
+  {
+    // Caller-side override, gone again before any batch executes.
+    runtime::Scope scope(runtime::ContextPatch::with_kernels(
+        {tensor::KernelBackend::kNaive, 0}));
+    server.emplace(infer, cfg);
+  }
+  server->start();
+  constexpr int kRequests = 4;
+  std::vector<ResponseFuture> futures;
+  for (int i = 0; i < kRequests; ++i) {
+    Request r;
+    r.images = sample_image(40 + static_cast<std::uint64_t>(i), 2);
+    futures.push_back(server->submit(std::move(r)));
+  }
+  for (auto& f : futures) (void)f.get();
+  server->drain();
+
+  ASSERT_EQ(observed.size(), static_cast<std::size_t>(kRequests));
+  for (tensor::KernelBackend b : observed) {
+    EXPECT_EQ(b, tensor::KernelBackend::kNaive)
+        << "worker forward did not observe the submitter's context";
+  }
+  // The override never leaked into this (caller) thread's ambient state
+  // (meaningful wherever the default isn't already degraded to naive).
+  if (tensor::blocked_kernels_supported()) {
+    EXPECT_NE(tensor::kernel_config().backend,
+              tensor::KernelBackend::kNaive);
+  }
+}
+
 TEST(World, ThrowingRankFailsRunWithRankContext) {
   comm::World world(2);
   try {

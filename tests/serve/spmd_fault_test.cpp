@@ -26,19 +26,24 @@ SpmdEngine::RankModelFactory make_factory(const ModelConfig& cfg,
   return [&cfg, comm_cfg](comm::Communicator& comm) {
     Rng master(42);  // every rank: same master seed (D-CHAG contract)
     core::DchagOptions opts{/*tree_units=*/1, AggLayerKind::kLinear};
-    opts.comm = comm_cfg;
-    return core::make_dchag_forecast(cfg, kChannels, comm, opts, master);
+    return core::make_dchag_forecast(
+        cfg, kChannels, comm, opts, master,
+        runtime::Context::current().to_builder().comm(comm_cfg).build());
   };
 }
 
-SpmdEngineConfig straggler_config() {
+/// Engine context carrying the straggler fault plan (installed on the
+/// engine's World through Context::fault_plan).
+runtime::Context straggler_context() {
   comm::FaultSpec spec;
   spec.seed = 404;
   spec.max_edge_delay_us = 50;
   spec.per_rank_delay_us = {0, 0, 800, 0};  // rank 2 is the slow one
   spec.drop_prob = 0.2;
   spec.retry_backoff_us = 40;
-  return SpmdEngineConfig{comm::make_fault_plan(spec, kRanks)};
+  return runtime::ContextBuilder()
+      .fault_plan(comm::make_fault_plan(spec, kRanks))
+      .build();
 }
 
 Tensor sample_batch(std::uint64_t seed) {
@@ -52,7 +57,8 @@ TEST(SpmdFault, StragglerRankStillServesExactResultsWithTailMetrics) {
   // progress threads' shadow group as well as the main collectives.
   const comm::CommConfig async_cfg{comm::CommMode::kAsync,
                                    /*pipeline_chunks=*/2};
-  SpmdEngine slow(kRanks, make_factory(cfg, async_cfg), straggler_config());
+  SpmdEngine slow(kRanks, make_factory(cfg, async_cfg), {},
+                  straggler_context());
   SpmdEngine quiet(kRanks, make_factory(cfg, async_cfg));
 
   ServerConfig scfg;
@@ -98,7 +104,7 @@ TEST(SpmdFault, EngineShutdownWithFaultsAndNoTrafficDoesNotDeadlock) {
   SpmdEngine engine(kRanks,
                     make_factory(cfg, comm::CommConfig{comm::CommMode::kAsync,
                                                        /*pipeline_chunks=*/2}),
-                    straggler_config());
+                    {}, straggler_context());
   // Construct-then-destruct, zero jobs: the world must come down clean.
 }
 

@@ -325,6 +325,13 @@ int RUN_ALL_TESTS();
 
 #define EXPECT_NEAR(a, b, tol) MG_NEAR(a, b, tol, false)
 #define ASSERT_NEAR(a, b, tol) MG_NEAR(a, b, tol, true)
+
+// Unconditional failures, streamable like the conditional forms:
+// ADD_FAILURE() records and continues, FAIL() aborts the test.
+#define ADD_FAILURE() \
+  ::testing::internal::FailureReporter(__FILE__, __LINE__, false) << "Failed "
+#define FAIL() \
+  ::testing::internal::FailureReporter(__FILE__, __LINE__, true) << "Failed "
 #define MG_ALMOST_EQ(a, b, rel, fatal)                                       \
   if (auto mg_result =                                                       \
           ::testing::internal::CompareAlmostEq(#a, #b, (a), (b), (rel));     \
