@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cstring>
+#include <sstream>
 #include <thread>
 
 #include "comm/fault.hpp"
@@ -39,23 +40,132 @@ void sleep_us(std::uint64_t us) {
   if (us > 0) std::this_thread::sleep_for(std::chrono::microseconds(us));
 }
 
+/// Poll period for waits that must notice a fault epoch advance. Epoch
+/// bumps also notify the waiters' cv, so this is a backstop, not the
+/// detection latency.
+constexpr auto kFailurePoll = std::chrono::microseconds(200);
+
+std::string rank_failure_message(const std::string& context,
+                                 const std::vector<int>& failed,
+                                 std::uint64_t seed, int event_index,
+                                 const std::string& schedule) {
+  std::ostringstream os;
+  os << "RankFailure: " << context << " | failed world ranks {";
+  for (std::size_t i = 0; i < failed.size(); ++i) {
+    if (i > 0) os << ',';
+    os << failed[i];
+  }
+  os << "} | repro: seed=" << seed << " event=" << event_index
+     << " schedule=\"" << schedule << '"';
+  return os.str();
+}
+
 }  // namespace
+
+RankFailure::RankFailure(const std::string& context,
+                         std::vector<int> failed_ranks, std::uint64_t seed,
+                         int event_index, std::string schedule)
+    : Error(rank_failure_message(context, failed_ranks, seed, event_index,
+                                 schedule)),
+      failed_ranks_(std::move(failed_ranks)),
+      seed_(seed),
+      event_index_(event_index),
+      schedule_(std::move(schedule)) {}
 
 namespace detail {
 
+std::uint64_t FailureLedger::fail(int event_index,
+                                  const std::vector<int>& ranks,
+                                  std::uint64_t seed,
+                                  const std::string& schedule) {
+  std::scoped_lock lk(mu_);
+  if (auto it = fired_.find(event_index); it != fired_.end())
+    return it->second;
+  for (int r : ranks) {
+    auto pos = std::lower_bound(dead_.begin(), dead_.end(), r);
+    if (pos == dead_.end() || *pos != r) dead_.insert(pos, r);
+  }
+  last_ = Repro{ranks, seed, event_index, schedule};
+  const std::uint64_t now = epoch_.load(std::memory_order_relaxed) + 1;
+  fired_[event_index] = now;
+  epoch_.store(now, std::memory_order_release);
+  return now;
+}
+
+bool FailureLedger::is_dead(int world_rank) const {
+  std::scoped_lock lk(mu_);
+  return std::binary_search(dead_.begin(), dead_.end(), world_rank);
+}
+
+std::vector<int> FailureLedger::dead_ranks() const {
+  std::scoped_lock lk(mu_);
+  return dead_;
+}
+
+FailureLedger::Repro FailureLedger::last_failure() const {
+  std::scoped_lock lk(mu_);
+  return last_;
+}
+
+std::shared_ptr<GroupState> FailureLedger::recovery_group(
+    const std::string& key,
+    const std::function<std::shared_ptr<GroupState>()>& make) {
+  std::scoped_lock lk(mu_);
+  auto it = groups_.find(key);
+  if (it == groups_.end()) it = groups_.emplace(key, make()).first;
+  return it->second;
+}
+
+bool SeqBarrier::arrive_and_wait(std::uint64_t seen_epoch) {
+  std::unique_lock lk(mu_);
+  if (ledger_ && ledger_->epoch() > seen_epoch) return false;
+  if (++arrived_ == expected_) {
+    arrived_ = 0;
+    ++phase_;
+    cv_.notify_all();
+    return true;
+  }
+  const std::uint64_t my_phase = phase_;
+  while (phase_ == my_phase) {
+    cv_.wait_for(lk, kFailurePoll);
+    if (phase_ != my_phase) break;
+    if (ledger_ && ledger_->epoch() > seen_epoch) {
+      // Retract: a rank that throws must not count toward the trip, or a
+      // later (recovered) phase would trip one arrival short.
+      --arrived_;
+      cv_.notify_all();
+      return false;
+    }
+  }
+  return true;
+}
+
 GroupState::GroupState(int size_in, Topology topo,
-                       std::shared_ptr<const FaultPlan> plan)
+                       std::shared_ptr<const FaultPlan> plan,
+                       std::shared_ptr<FailureLedger> ledger_in,
+                       std::vector<int> world_ranks_in)
     : size(size_in),
       topology(std::move(topo)),
       fault_plan(std::move(plan)),
+      ledger(ledger_in ? std::move(ledger_in)
+                       : std::make_shared<FailureLedger>()),
+      world_ranks(std::move(world_ranks_in)),
       send_slots(static_cast<std::size_t>(size_in), nullptr),
       recv_slots(static_cast<std::size_t>(size_in), nullptr),
       count_slots(static_cast<std::size_t>(size_in), 0),
-      barrier(size_in) {
+      barrier(size_in, ledger.get()) {
   DCHAG_CHECK(size_in > 0, "communicator size must be positive");
   DCHAG_CHECK(topology.size() == size_in,
               "topology size " << topology.size() << " != group size "
                                << size_in);
+  if (world_ranks.empty()) {
+    world_ranks.resize(static_cast<std::size_t>(size_in));
+    for (int r = 0; r < size_in; ++r)
+      world_ranks[static_cast<std::size_t>(r)] = r;
+  }
+  DCHAG_CHECK(world_ranks.size() == static_cast<std::size_t>(size_in),
+              "world_ranks size " << world_ranks.size() << " != group size "
+                                  << size_in);
 }
 
 }  // namespace detail
@@ -79,10 +189,77 @@ void reduce_into(std::span<float> dst, std::span<const float> src,
   }
 }
 
+Communicator::Communicator(std::shared_ptr<detail::GroupState> state,
+                           int rank)
+    : state_(std::move(state)),
+      rank_(rank),
+      seen_epoch_(state_->ledger->epoch()) {}
+
+bool Communicator::poisoned() const {
+  return state_->ledger->epoch() > seen_epoch_;
+}
+
+std::vector<int> Communicator::alive_world_ranks() const {
+  const std::vector<int> dead = state_->ledger->dead_ranks();
+  std::vector<int> alive;
+  alive.reserve(state_->world_ranks.size());
+  for (int wr : state_->world_ranks) {
+    if (!std::binary_search(dead.begin(), dead.end(), wr))
+      alive.push_back(wr);
+  }
+  std::sort(alive.begin(), alive.end());
+  return alive;
+}
+
+std::uint64_t Communicator::fault_epoch() const {
+  return state_->ledger->epoch();
+}
+
+void Communicator::check_failure() const {
+  if (poisoned()) throw_failure("operation on a poisoned group");
+}
+
+void Communicator::throw_failure(const std::string& context) const {
+  const detail::FailureLedger::Repro repro = state_->ledger->last_failure();
+  throw RankFailure(context + " (world rank " + std::to_string(world_rank()) +
+                        ")",
+                    repro.failed, repro.seed, repro.event_index,
+                    repro.schedule);
+}
+
+void Communicator::sync() {
+  if (!state_->barrier.arrive_and_wait(seen_epoch_))
+    throw_failure("peer rank failed mid-collective");
+}
+
 void Communicator::inject_entry_faults(CollectiveKind kind) {
+  check_failure();
   const FaultPlan* plan = state_->fault_plan.get();
   if (!plan) return;
-  const FaultPlan::Injection inj = plan->draw(rank_, kind, fault_seq_++);
+  const std::uint64_t seq = fault_seq_++;
+  if (plan->has_events()) {
+    // Rank death: fires on the dying rank's own handle. The ledger makes
+    // firing idempotent and tells us whether the event postdates this
+    // handle — a respawned rank's fresh handles sail past their own stale
+    // death event.
+    int ev = plan->death_event(world_rank(), seq);
+    if (ev >= 0 &&
+        state_->ledger->fail(ev, {world_rank()}, plan->spec().seed,
+                             plan->describe()) > seen_epoch_) {
+      throw_failure("rank death injected at op " + std::to_string(seq));
+    }
+    // Link partition: fires on any group spanning both islands during the
+    // window. Every rank of the group throws (the group is severed);
+    // the minority side is marked dead so the majority can regroup.
+    std::vector<int> dead;
+    ev = plan->partition_event(state_->world_ranks, seq, &dead);
+    if (ev >= 0 &&
+        state_->ledger->fail(ev, dead, plan->spec().seed,
+                             plan->describe()) > seen_epoch_) {
+      throw_failure("link partition injected at op " + std::to_string(seq));
+    }
+  }
+  const FaultPlan::Injection inj = plan->draw(rank_, kind, seq);
   // Dropped contribution: each resend attempt costs one backoff window.
   sleep_us(static_cast<std::uint64_t>(inj.drops) * inj.retry_backoff_us);
   sleep_us(inj.pre_delay_us);
@@ -98,7 +275,7 @@ void Communicator::inject_exit_faults(CollectiveKind) {
 void Communicator::barrier() {
   stats_.record(CollectiveKind::kBarrier, 0);
   inject_entry_faults(CollectiveKind::kBarrier);
-  state_->barrier.arrive_and_wait();
+  sync();
   inject_exit_faults(CollectiveKind::kBarrier);
 }
 
@@ -138,7 +315,7 @@ void Communicator::all_reduce_direct(std::span<float> data, ReduceOp op) {
   st.send_slots[static_cast<std::size_t>(rank_)] = data.data();
   st.count_slots[static_cast<std::size_t>(rank_)] =
       static_cast<std::int64_t>(data.size());
-  st.barrier.arrive_and_wait();
+  sync();
   std::vector<float> temp(data.begin(), data.end());
   for (int r = 0; r < size(); ++r) {
     if (r == rank_) continue;
@@ -149,9 +326,9 @@ void Communicator::all_reduce_direct(std::span<float> data, ReduceOp op) {
                 {st.send_slots[static_cast<std::size_t>(r)], data.size()},
                 op);
   }
-  st.barrier.arrive_and_wait();  // all reads done before anyone writes
+  sync();  // all reads done before anyone writes
   std::copy(temp.begin(), temp.end(), data.begin());
-  st.barrier.arrive_and_wait();  // writes done before buffers are reused
+  sync();  // writes done before buffers are reused
 }
 
 void Communicator::all_reduce_ring(std::span<float> data, ReduceOp op) {
@@ -159,7 +336,7 @@ void Communicator::all_reduce_ring(std::span<float> data, ReduceOp op) {
   const int P = size();
   const auto chunks = make_chunks(static_cast<std::int64_t>(data.size()), P);
   st.recv_slots[static_cast<std::size_t>(rank_)] = data.data();
-  st.barrier.arrive_and_wait();
+  sync();
   const int left = (rank_ - 1 + P) % P;
   float* left_buf = st.recv_slots[static_cast<std::size_t>(left)];
   // Reduce-scatter phase: after step s, the chunk received at step s has
@@ -169,7 +346,7 @@ void Communicator::all_reduce_ring(std::span<float> data, ReduceOp op) {
     const auto& c = chunks[static_cast<std::size_t>(idx)];
     reduce_into({data.data() + c.offset, static_cast<std::size_t>(c.len)},
                 {left_buf + c.offset, static_cast<std::size_t>(c.len)}, op);
-    st.barrier.arrive_and_wait();
+    sync();
   }
   // All-gather phase: complete chunks travel around the ring.
   for (int s = 0; s < P - 1; ++s) {
@@ -177,7 +354,7 @@ void Communicator::all_reduce_ring(std::span<float> data, ReduceOp op) {
     const auto& c = chunks[static_cast<std::size_t>(idx)];
     std::memcpy(data.data() + c.offset, left_buf + c.offset,
                 static_cast<std::size_t>(c.len) * sizeof(float));
-    st.barrier.arrive_and_wait();
+    sync();
   }
 }
 
@@ -196,7 +373,7 @@ void Communicator::all_reduce_hierarchical(std::span<float> data,
   const bool is_leader = leader == rank_;
 
   st.recv_slots[static_cast<std::size_t>(rank_)] = data.data();
-  st.barrier.arrive_and_wait();
+  sync();
 
   // Phase 1: each leader reduces its node's members.
   std::vector<float> temp;
@@ -210,7 +387,7 @@ void Communicator::all_reduce_hierarchical(std::span<float> data,
     }
     st.send_slots[static_cast<std::size_t>(rank_)] = temp.data();
   }
-  st.barrier.arrive_and_wait();
+  sync();
 
   // Phase 2: leaders reduce across nodes into a private buffer.
   std::vector<float> final_buf;
@@ -231,16 +408,16 @@ void Communicator::all_reduce_hierarchical(std::span<float> data,
                   op);
     }
   }
-  st.barrier.arrive_and_wait();
+  sync();
 
   // Phase 3: leaders publish; members copy from their leader.
   if (is_leader) std::copy(final_buf.begin(), final_buf.end(), data.begin());
-  st.barrier.arrive_and_wait();
+  sync();
   if (!is_leader) {
     const float* src = st.recv_slots[static_cast<std::size_t>(leader)];
     std::memcpy(data.data(), src, data.size() * sizeof(float));
   }
-  st.barrier.arrive_and_wait();
+  sync();
 }
 
 // ----- AllGather -------------------------------------------------------------
@@ -276,7 +453,7 @@ void Communicator::all_gather_direct(std::span<const float> send,
   st.send_slots[static_cast<std::size_t>(rank_)] = send.data();
   st.count_slots[static_cast<std::size_t>(rank_)] =
       static_cast<std::int64_t>(send.size());
-  st.barrier.arrive_and_wait();
+  sync();
   const std::size_t n = send.size();
   for (int r = 0; r < size(); ++r) {
     DCHAG_CHECK(st.count_slots[static_cast<std::size_t>(r)] ==
@@ -286,7 +463,7 @@ void Communicator::all_gather_direct(std::span<const float> send,
                 st.send_slots[static_cast<std::size_t>(r)],
                 n * sizeof(float));
   }
-  st.barrier.arrive_and_wait();  // senders keep buffers alive until here
+  sync();  // senders keep buffers alive until here
 }
 
 void Communicator::all_gather_ring(std::span<const float> send,
@@ -297,7 +474,7 @@ void Communicator::all_gather_ring(std::span<const float> send,
   std::memcpy(recv.data() + static_cast<std::size_t>(rank_) * n, send.data(),
               n * sizeof(float));
   st.recv_slots[static_cast<std::size_t>(rank_)] = recv.data();
-  st.barrier.arrive_and_wait();
+  sync();
   const int left = (rank_ - 1 + P) % P;
   const float* left_buf = st.recv_slots[static_cast<std::size_t>(left)];
   for (int s = 0; s < P - 1; ++s) {
@@ -305,7 +482,7 @@ void Communicator::all_gather_ring(std::span<const float> send,
     std::memcpy(recv.data() + static_cast<std::size_t>(idx) * n,
                 left_buf + static_cast<std::size_t>(idx) * n,
                 n * sizeof(float));
-    st.barrier.arrive_and_wait();
+    sync();
   }
 }
 
@@ -346,7 +523,7 @@ void Communicator::reduce_scatter_direct(std::span<const float> send,
                                          ReduceOp op) {
   auto& st = *state_;
   st.send_slots[static_cast<std::size_t>(rank_)] = send.data();
-  st.barrier.arrive_and_wait();
+  sync();
   const std::size_t n = recv.size();
   const std::size_t my_off = static_cast<std::size_t>(rank_) * n;
   std::memcpy(recv.data(), send.data() + my_off, n * sizeof(float));
@@ -356,7 +533,7 @@ void Communicator::reduce_scatter_direct(std::span<const float> send,
                 {st.send_slots[static_cast<std::size_t>(r)] + my_off, n},
                 op == ReduceOp::kAvg ? ReduceOp::kSum : op);
   }
-  st.barrier.arrive_and_wait();
+  sync();
 }
 
 void Communicator::reduce_scatter_ring(std::span<const float> send,
@@ -366,7 +543,7 @@ void Communicator::reduce_scatter_ring(std::span<const float> send,
   // Workspace copy of send (ring mutates partial sums in place).
   std::vector<float> work(send.begin(), send.end());
   st.recv_slots[static_cast<std::size_t>(rank_)] = work.data();
-  st.barrier.arrive_and_wait();
+  sync();
   const int left = (rank_ - 1 + P) % P;
   float* left_buf = st.recv_slots[static_cast<std::size_t>(left)];
   const std::size_t n = recv.size();
@@ -375,13 +552,13 @@ void Communicator::reduce_scatter_ring(std::span<const float> send,
     const int idx = ((rank_ - s - 1) % P + P) % P;
     const std::size_t off = static_cast<std::size_t>(idx) * n;
     reduce_into({work.data() + off, n}, {left_buf + off, n}, eff);
-    st.barrier.arrive_and_wait();
+    sync();
   }
   // Rank r now owns complete chunk (r+1)%P; chunk r lives on the left
   // neighbour — one final shift delivers reduce_scatter semantics.
   const std::size_t final_off = static_cast<std::size_t>(rank_) * n;
   std::memcpy(recv.data(), left_buf + final_off, n * sizeof(float));
-  st.barrier.arrive_and_wait();  // keep workspaces alive until all copied
+  sync();  // keep workspaces alive until all copied
 }
 
 // ----- Broadcast / point-to-point -------------------------------------------
@@ -397,12 +574,12 @@ void Communicator::broadcast(std::span<float> data, int root) {
   auto& st = *state_;
   if (rank_ == root)
     st.send_slots[static_cast<std::size_t>(rank_)] = data.data();
-  st.barrier.arrive_and_wait();
+  sync();
   if (rank_ != root) {
     std::memcpy(data.data(), st.send_slots[static_cast<std::size_t>(root)],
                 data.size() * sizeof(float));
   }
-  st.barrier.arrive_and_wait();
+  sync();
   inject_exit_faults(CollectiveKind::kBroadcast);
 }
 
@@ -413,11 +590,28 @@ void Communicator::send(std::span<const float> data, int dst, int tag) {
   auto& st = *state_;
   const auto key = std::make_tuple(rank_, dst, tag);
   std::unique_lock lk(st.mail_mu);
-  st.mail_cv.wait(lk, [&] { return !st.mailbox.contains(key); });
+  bool published = false;
+  // Rendezvous waits poll the ledger: a dead receiver must fail the send,
+  // not hang it. If we already published the parcel, retract it so a
+  // later retry of the same (src,dst,tag) doesn't see stale bytes.
+  const auto wait_or_fail = [&](const std::function<bool()>& pred) {
+    while (!pred()) {
+      st.mail_cv.wait_for(lk, kFailurePoll);
+      if (pred()) break;
+      if (poisoned()) {
+        if (published) st.mailbox.erase(key);
+        st.mail_cv.notify_all();
+        lk.unlock();
+        throw_failure("peer rank failed during send");
+      }
+    }
+  };
+  wait_or_fail([&] { return !st.mailbox.contains(key); });
   st.mailbox[key] = {data.data(), static_cast<std::int64_t>(data.size()),
                      false};
+  published = true;
   st.mail_cv.notify_all();
-  st.mail_cv.wait(lk, [&] {
+  wait_or_fail([&] {
     auto it = st.mailbox.find(key);
     return it != st.mailbox.end() && it->second.consumed;
   });
@@ -434,10 +628,18 @@ void Communicator::recv(std::span<float> data, int src, int tag) {
   auto& st = *state_;
   const auto key = std::make_tuple(src, rank_, tag);
   std::unique_lock lk(st.mail_mu);
-  st.mail_cv.wait(lk, [&] {
+  const auto arrived = [&] {
     auto it = st.mailbox.find(key);
     return it != st.mailbox.end() && !it->second.consumed;
-  });
+  };
+  while (!arrived()) {
+    st.mail_cv.wait_for(lk, kFailurePoll);
+    if (arrived()) break;
+    if (poisoned()) {
+      lk.unlock();
+      throw_failure("peer rank failed during recv");
+    }
+  }
   auto& parcel = st.mailbox.at(key);
   DCHAG_CHECK(parcel.count == static_cast<std::int64_t>(data.size()),
               "recv size " << data.size() << " != sent " << parcel.count);
@@ -452,6 +654,7 @@ void Communicator::recv(std::span<float> data, int src, int tag) {
 // ----- split -----------------------------------------------------------------
 
 Communicator Communicator::split(int color, int key) {
+  check_failure();
   auto& st = *state_;
   {
     std::scoped_lock lk(st.split_mu);
@@ -463,7 +666,7 @@ Communicator Communicator::split(int color, int key) {
     st.split_keys[static_cast<std::size_t>(rank_)] =
         key >= 0 ? key : rank_;
   }
-  st.barrier.arrive_and_wait();
+  sync();
 
   // Determine this color's membership, ordered by (key, parent rank).
   std::vector<int> members;
@@ -477,16 +680,22 @@ Communicator Communicator::split(int color, int key) {
   });
   const bool is_creator = members.front() == rank_;
   if (is_creator) {
-    // Children inherit the parent's fault plan: flaky links stay flaky
-    // for every subgroup carved out of the world.
+    // Children inherit the parent's fault plan and the world's failure
+    // ledger: flaky links stay flaky for every subgroup carved out of the
+    // world, and a fault event anywhere poisons the whole family. World
+    // ranks compose so nested groups still match structural events.
+    std::vector<int> child_world;
+    child_world.reserve(members.size());
+    for (int m : members)
+      child_world.push_back(st.world_ranks[static_cast<std::size_t>(m)]);
     auto child = std::make_shared<detail::GroupState>(
         static_cast<int>(members.size()), st.topology.subgroup(members),
-        st.fault_plan);
+        st.fault_plan, st.ledger, std::move(child_world));
     std::scoped_lock lk(st.split_mu);
     st.split_groups[color] = std::move(child);
     st.split_members[color] = members;
   }
-  st.barrier.arrive_and_wait();
+  sync();
 
   std::shared_ptr<detail::GroupState> child;
   {
@@ -498,7 +707,7 @@ Communicator Communicator::split(int color, int key) {
     if (members[i] == rank_) child_rank = static_cast<int>(i);
   }
   DCHAG_CHECK(child_rank >= 0, "split: rank not in own color group");
-  st.barrier.arrive_and_wait();
+  sync();
 
   // Reset rendezvous state for the next split call.
   if (rank_ == 0) {
@@ -508,8 +717,46 @@ Communicator Communicator::split(int color, int key) {
     st.split_colors.clear();
     st.split_keys.clear();
   }
-  st.barrier.arrive_and_wait();
+  sync();
   return Communicator(std::move(child), child_rank);
+}
+
+Communicator Communicator::split_survivors(
+    const std::vector<int>& world_members, const std::string& tag) {
+  return split_survivors_for(world_rank(), world_members, tag);
+}
+
+Communicator Communicator::split_survivors_for(
+    int world_rank_in, const std::vector<int>& world_members,
+    const std::string& tag) {
+  DCHAG_CHECK(!world_members.empty(), "split_survivors: empty membership");
+  DCHAG_CHECK(std::is_sorted(world_members.begin(), world_members.end()) &&
+                  std::adjacent_find(world_members.begin(),
+                                     world_members.end()) ==
+                      world_members.end(),
+              "split_survivors: membership must be sorted and unique");
+  const auto it = std::lower_bound(world_members.begin(), world_members.end(),
+                                   world_rank_in);
+  DCHAG_CHECK(it != world_members.end() && *it == world_rank_in,
+              "split_survivors: world rank " << world_rank_in
+                                             << " not in membership");
+  auto& st = *state_;
+  // Rendezvous through the ledger (lock, no barriers): works even when
+  // this handle is poisoned, which is exactly when it's needed. The new
+  // group gets a flat topology — survivor sets need not respect the
+  // original node packing.
+  auto group = st.ledger->recovery_group(tag, [&] {
+    return std::make_shared<detail::GroupState>(
+        static_cast<int>(world_members.size()),
+        Topology::flat(static_cast<int>(world_members.size())), st.fault_plan,
+        st.ledger, world_members);
+  });
+  DCHAG_CHECK(group->world_ranks == world_members,
+              "split_survivors: tag \"" << tag
+                                        << "\" already bound to a different "
+                                           "membership");
+  return Communicator(std::move(group),
+                      static_cast<int>(it - world_members.begin()));
 }
 
 // ----- World -----------------------------------------------------------------
@@ -533,6 +780,10 @@ void World::run(const std::function<void(Communicator&)>& fn) {
       try {
         Communicator comm(state, r);
         fn(comm);
+      } catch (const RankFailure&) {
+        // Keep the type (and its seed/event repro payload) intact; the
+        // message already names the world rank.
+        errors[static_cast<std::size_t>(r)] = std::current_exception();
       } catch (const std::exception& ex) {
         errors[static_cast<std::size_t>(r)] = std::make_exception_ptr(
             Error("rank " + std::to_string(r) + ": " + ex.what()));

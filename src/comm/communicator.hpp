@@ -11,15 +11,28 @@
 // Usage contract (as in MPI/NCCL): every rank of a communicator must call
 // the same sequence of collectives with compatible sizes; collectives are
 // rendezvous points and asymmetric call sequences deadlock.
+//
+// Fault semantics: a World carries one FailureLedger shared by every group
+// descended from it (split() children and async shadow groups included).
+// When a FaultPlan structural event fires — rank death or link partition
+// (fault.hpp) — the ledger's fault epoch advances, and every communicator
+// handle created before that epoch is permanently POISONED: any collective,
+// barrier, or send/recv on it throws a typed RankFailure instead of
+// hanging on a peer that will never arrive. Survivors regroup with
+// split_survivors(), which rendezvouses through the ledger (no barriers,
+// so it works on poisoned groups) and yields a fresh, un-poisoned group
+// over an explicit membership list.
 #pragma once
 
-#include <barrier>
+#include <atomic>
 #include <condition_variable>
+#include <cstdint>
 #include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <span>
+#include <string>
 #include <tuple>
 #include <vector>
 
@@ -28,26 +41,128 @@
 
 namespace dchag::comm {
 
-class FaultPlan;  // fault.hpp: deterministic delay/drop/jitter injection
+class FaultPlan;  // fault.hpp: deterministic delay/drop/jitter/event plan
+
+/// Typed error for an injected (or detected) rank failure. The message
+/// always embeds the failing world ranks plus the fault plan's seed,
+/// event index, and full schedule string, so any seeded chaos failure is
+/// reproducible straight from a test log.
+class RankFailure : public Error {
+ public:
+  RankFailure(const std::string& context, std::vector<int> failed_ranks,
+              std::uint64_t seed, int event_index, std::string schedule);
+
+  [[nodiscard]] const std::vector<int>& failed_ranks() const {
+    return failed_ranks_;
+  }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] int event_index() const { return event_index_; }
+  [[nodiscard]] const std::string& schedule() const { return schedule_; }
+
+ private:
+  std::vector<int> failed_ranks_;
+  std::uint64_t seed_;
+  int event_index_;
+  std::string schedule_;
+};
 
 namespace detail {
+
+struct GroupState;
+
+/// World-scoped failure record, shared by all groups of one World. The
+/// epoch is the poisoning clock: every structural fault event advances it
+/// exactly once, and handles compare their construction-time epoch
+/// against it on every operation.
+class FailureLedger {
+ public:
+  [[nodiscard]] std::uint64_t epoch() const {
+    return epoch_.load(std::memory_order_acquire);
+  }
+
+  /// Fires `event_index` (idempotent — at most once per plan event):
+  /// marks `ranks` dead, advances the epoch, records repro info. Returns
+  /// the epoch at which the event fired, whether now or earlier; callers
+  /// throw iff that epoch postdates their handle.
+  std::uint64_t fail(int event_index, const std::vector<int>& ranks,
+                     std::uint64_t seed, const std::string& schedule);
+
+  [[nodiscard]] bool is_dead(int world_rank) const;
+  [[nodiscard]] std::vector<int> dead_ranks() const;
+
+  struct Repro {
+    std::vector<int> failed;
+    std::uint64_t seed = 0;
+    int event_index = -1;
+    std::string schedule;
+  };
+  [[nodiscard]] Repro last_failure() const;
+
+  /// Barrier-free rendezvous for post-failure regrouping: the first
+  /// caller under `key` creates the group via `make`; everyone else gets
+  /// the same GroupState. Keys are caller-chosen (the serving layer uses
+  /// "phase#generation" tags) so repeated recoveries stay distinct.
+  std::shared_ptr<GroupState> recovery_group(
+      const std::string& key,
+      const std::function<std::shared_ptr<GroupState>()>& make);
+
+ private:
+  mutable std::mutex mu_;
+  std::atomic<std::uint64_t> epoch_{0};
+  std::map<int, std::uint64_t> fired_;  ///< event index -> firing epoch
+  std::vector<int> dead_;               ///< sorted world ranks
+  Repro last_;
+  std::map<std::string, std::shared_ptr<GroupState>> groups_;
+};
+
+/// Rendezvous barrier that can break. Functionally std::barrier with a
+/// fixed participant count, except waiters poll the FailureLedger: when
+/// the fault epoch moves past the waiter's view, the wait RETRACTS its
+/// arrival and returns false so the caller can throw RankFailure —
+/// turning what would be a permanent hang on a dead peer into an error.
+class SeqBarrier {
+ public:
+  SeqBarrier(int expected, const FailureLedger* ledger)
+      : expected_(expected), ledger_(ledger) {}
+
+  /// True: all ranks arrived, barrier passed. False: the world's fault
+  /// epoch advanced past `seen_epoch` while waiting (arrival retracted).
+  [[nodiscard]] bool arrive_and_wait(std::uint64_t seen_epoch);
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  int expected_;
+  int arrived_ = 0;
+  std::uint64_t phase_ = 0;
+  const FailureLedger* ledger_;
+};
 
 /// State shared by all ranks of one communicator group.
 struct GroupState {
   GroupState(int size, Topology topo,
-             std::shared_ptr<const FaultPlan> plan = nullptr);
+             std::shared_ptr<const FaultPlan> plan = nullptr,
+             std::shared_ptr<FailureLedger> ledger = nullptr,
+             std::vector<int> world_ranks = {});
 
   int size;
   Topology topology;
-  /// Optional fault injection consulted by every collective (timing only,
-  /// never data). Propagates into split() children.
+  /// Optional fault injection consulted by every collective (timing plus
+  /// structural events). Propagates into split() children.
   std::shared_ptr<const FaultPlan> fault_plan;
+  /// World-scoped failure ledger; created by the root group, shared by
+  /// every descendant (split children, shadow groups, recovery groups).
+  std::shared_ptr<FailureLedger> ledger;
+  /// Group rank -> root-world rank, composed through split(). Structural
+  /// fault events are specified in world ranks, so nested groups can
+  /// still match them.
+  std::vector<int> world_ranks;
 
   // Pointer-exchange slots for the direct/ring/hierarchical algorithms.
   std::vector<const float*> send_slots;
   std::vector<float*> recv_slots;
   std::vector<std::int64_t> count_slots;
-  std::barrier<> barrier;
+  SeqBarrier barrier;
 
   // split() rendezvous.
   std::mutex split_mu;
@@ -75,8 +190,7 @@ struct GroupState {
 /// backward pass).
 class Communicator {
  public:
-  Communicator(std::shared_ptr<detail::GroupState> state, int rank)
-      : state_(std::move(state)), rank_(rank) {}
+  Communicator(std::shared_ptr<detail::GroupState> state, int rank);
 
   Communicator(const Communicator&) = delete;
   Communicator& operator=(const Communicator&) = delete;
@@ -86,6 +200,25 @@ class Communicator {
   [[nodiscard]] int rank() const { return rank_; }
   [[nodiscard]] int size() const { return state_->size; }
   [[nodiscard]] const Topology& topology() const { return state_->topology; }
+
+  /// This rank's position in the ROOT world (== rank() on the root group;
+  /// composed through split() / split_survivors() for nested groups).
+  [[nodiscard]] int world_rank() const {
+    return state_->world_ranks[static_cast<std::size_t>(rank_)];
+  }
+  [[nodiscard]] const std::vector<int>& world_ranks() const {
+    return state_->world_ranks;
+  }
+
+  /// True once a fault event has poisoned this handle: every subsequent
+  /// collective / barrier / send / recv throws RankFailure.
+  [[nodiscard]] bool poisoned() const;
+  /// This group's membership minus the ledger's dead set (world ranks).
+  [[nodiscard]] std::vector<int> alive_world_ranks() const;
+  /// The ledger's current fault epoch (advances once per structural fault
+  /// event). Recovery code snapshots it to tag regrouping rendezvous and
+  /// re-checks it after regrouping to detect events that raced in.
+  [[nodiscard]] std::uint64_t fault_epoch() const;
 
   /// Synchronisation point for all ranks in the group.
   void barrier();
@@ -117,12 +250,39 @@ class Communicator {
   /// key < 0 means "use parent rank order".
   [[nodiscard]] Communicator split(int color, int key = -1);
 
+  /// Post-failure regrouping over an explicit membership of WORLD ranks
+  /// (sorted, unique, containing this handle's world_rank). Rendezvouses
+  /// through the FailureLedger rather than barriers, so it works on a
+  /// poisoned handle; every member must call it with the same
+  /// (world_members, tag). The fresh group inherits the fault plan and
+  /// ledger (already-fired events cannot re-fire) and uses a flat
+  /// topology. Tags namespace concurrent recoveries — reuse a tag only
+  /// for the same membership.
+  [[nodiscard]] Communicator split_survivors(
+      const std::vector<int>& world_members, const std::string& tag);
+
+  /// split_survivors on behalf of `world_rank` — lets a surviving leader
+  /// mint the (movable) handle a respawned rank thread will use, without
+  /// that thread needing any communicator of its own first.
+  [[nodiscard]] Communicator split_survivors_for(
+      int world_rank, const std::vector<int>& world_members,
+      const std::string& tag);
+
   [[nodiscard]] const CommStats& stats() const { return stats_; }
   void reset_stats() { stats_ = CommStats{}; }
 
  private:
+  /// Throws RankFailure if the handle is poisoned. Every public entry
+  /// point calls this first.
+  void check_failure() const;
+  [[noreturn]] void throw_failure(const std::string& context) const;
+  /// Group-internal barrier step: arrive, and convert a broken wait
+  /// (peer died) into RankFailure.
+  void sync();
+
   /// Sleeps per the group's FaultPlan (if any) before/after a collective's
-  /// data movement. No-ops without a plan; never touches payloads.
+  /// data movement, and fires structural events (death / partition) due at
+  /// this op. No-ops without a plan; never touches payloads.
   void inject_entry_faults(CollectiveKind kind);
   void inject_exit_faults(CollectiveKind kind);
 
@@ -139,6 +299,9 @@ class Communicator {
   std::shared_ptr<detail::GroupState> state_;
   int rank_;
   CommStats stats_;
+  /// Ledger epoch observed when this handle was created; the handle is
+  /// poisoned forever once the ledger moves past it.
+  std::uint64_t seen_epoch_ = 0;
   /// Per-rank collective sequence number feeding FaultPlan::draw; symmetric
   /// SPMD call sequences keep it aligned across ranks, which is what makes
   /// injected schedules deterministic.
@@ -166,8 +329,9 @@ class World {
   }
 
   /// Runs `fn(comm)` on every rank in its own thread and joins. If any rank
-  /// throws, the first exception is rethrown after all threads finish.
-  /// Rank bodies must keep collective call sequences symmetric.
+  /// throws, the first exception is rethrown after all threads finish —
+  /// RankFailure errors keep their type (and repro payload) through the
+  /// rethrow. Rank bodies must keep collective call sequences symmetric.
   void run(const std::function<void(Communicator&)>& fn);
 
  private:

@@ -1,6 +1,7 @@
 #include "comm/fault.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 namespace dchag::comm {
 
@@ -31,6 +32,15 @@ double unit_double(std::uint64_t h) {
   return static_cast<double>(h >> 11) * 0x1.0p-53;
 }
 
+void append_ranks(std::ostringstream& os, const std::vector<int>& ranks) {
+  os << '{';
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    if (i > 0) os << ',';
+    os << ranks[i];
+  }
+  os << '}';
+}
+
 }  // namespace
 
 FaultPlan::FaultPlan(FaultSpec spec, int size)
@@ -43,6 +53,24 @@ FaultPlan::FaultPlan(FaultSpec spec, int size)
   DCHAG_CHECK(spec_.drop_prob >= 0.0 && spec_.drop_prob <= 1.0,
               "FaultSpec drop_prob " << spec_.drop_prob);
   DCHAG_CHECK(spec_.max_retries >= 0, "FaultSpec max_retries");
+  for (const RankDeathEvent& d : spec_.deaths) {
+    DCHAG_CHECK(d.rank >= 0 && d.rank < size_,
+                "RankDeathEvent rank " << d.rank << " outside world of "
+                                       << size_);
+  }
+  for (PartitionEvent& p : spec_.partitions) {
+    DCHAG_CHECK(p.duration_ops > 0, "PartitionEvent duration_ops must be > 0");
+    std::sort(p.island.begin(), p.island.end());
+    p.island.erase(std::unique(p.island.begin(), p.island.end()),
+                   p.island.end());
+    DCHAG_CHECK(!p.island.empty() &&
+                    p.island.size() < static_cast<std::size_t>(size_),
+                "PartitionEvent island must be a non-empty proper subset of "
+                    << size_ << " ranks");
+    for (int r : p.island)
+      DCHAG_CHECK(r >= 0 && r < size_,
+                  "PartitionEvent rank " << r << " outside world of " << size_);
+  }
   const auto n = static_cast<std::size_t>(size_);
   edge_delay_us_.assign(n * n, 0);
   for (int s = 0; s < size_; ++s) {
@@ -71,6 +99,76 @@ std::uint32_t FaultPlan::edge_delay_us(int src, int dst) const {
   return edge_delay_us_[static_cast<std::size_t>(src) *
                             static_cast<std::size_t>(size_) +
                         static_cast<std::size_t>(dst)];
+}
+
+int FaultPlan::death_event(int world_rank, std::uint64_t seq) const {
+  for (std::size_t i = 0; i < spec_.deaths.size(); ++i) {
+    const RankDeathEvent& d = spec_.deaths[i];
+    if (d.rank == world_rank && seq >= d.at_op) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+int FaultPlan::partition_event(std::span<const int> world_ranks,
+                               std::uint64_t seq,
+                               std::vector<int>* dead) const {
+  for (std::size_t j = 0; j < spec_.partitions.size(); ++j) {
+    const PartitionEvent& p = spec_.partitions[j];
+    if (seq < p.at_op || seq >= p.at_op + p.duration_ops) continue;
+    bool in_island = false, outside = false;
+    for (int r : world_ranks) {
+      if (std::binary_search(p.island.begin(), p.island.end(), r))
+        in_island = true;
+      else
+        outside = true;
+    }
+    if (!in_island || !outside) continue;  // group lives on one side only
+    // The minority side loses; on a tie, the side without world rank 0.
+    std::vector<int> complement;
+    complement.reserve(static_cast<std::size_t>(size_) - p.island.size());
+    for (int r = 0; r < size_; ++r) {
+      if (!std::binary_search(p.island.begin(), p.island.end(), r))
+        complement.push_back(r);
+    }
+    const bool island_loses =
+        p.island.size() < complement.size() ||
+        (p.island.size() == complement.size() && p.island.front() != 0);
+    if (dead) *dead = island_loses ? p.island : complement;
+    return static_cast<int>(spec_.deaths.size() + j);
+  }
+  return -1;
+}
+
+std::string FaultPlan::describe() const {
+  std::ostringstream os;
+  os << "seed=" << spec_.seed << " size=" << size_;
+  if (spec_.max_edge_delay_us > 0)
+    os << " edge=[" << spec_.min_edge_delay_us << ','
+       << spec_.max_edge_delay_us << "]us";
+  if (spec_.drop_prob > 0.0)
+    os << " drop=" << spec_.drop_prob << "x" << spec_.max_retries << '@'
+       << spec_.retry_backoff_us << "us";
+  if (spec_.max_completion_jitter_us > 0)
+    os << " jitter<=" << spec_.max_completion_jitter_us << "us";
+  if (!spec_.per_rank_delay_us.empty()) {
+    os << " straggler=[";
+    for (std::size_t i = 0; i < spec_.per_rank_delay_us.size(); ++i) {
+      if (i > 0) os << ',';
+      os << spec_.per_rank_delay_us[i];
+    }
+    os << "]us";
+  }
+  int ev = 0;
+  for (const RankDeathEvent& d : spec_.deaths)
+    os << " event" << ev++ << "=death[rank " << d.rank << " @op " << d.at_op
+       << ']';
+  for (const PartitionEvent& p : spec_.partitions) {
+    os << " event" << ev++ << "=partition[";
+    std::ostringstream tmp;
+    append_ranks(tmp, p.island);
+    os << tmp.str() << "|rest @op " << p.at_op << '+' << p.duration_ops << ']';
+  }
+  return os.str();
 }
 
 FaultPlan::Injection FaultPlan::draw(int rank, CollectiveKind kind,

@@ -40,8 +40,12 @@ DchagFrontEnd::DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
                              std::optional<runtime::Context> ctx)
     : cfg_(cfg),
       comm_(&comm),
+      world_size_(comm.size()),
       ctx_(fold_legacy_options(std::move(ctx), opts)) {
   cfg_.validate();
+  logical_slots_.resize(static_cast<std::size_t>(world_size_));
+  for (int r = 0; r < world_size_; ++r)
+    logical_slots_[static_cast<std::size_t>(r)] = r;
   sync_coll_.emplace(comm);
   // The async progress lane is built lazily at the first async forward
   // (collective_for), NOT here: front-end construction must stay free of
@@ -69,6 +73,28 @@ DchagFrontEnd::DchagFrontEnd(const ModelConfig& cfg, Index total_channels,
       cfg_.embed_dim, cfg_.num_heads, comm.size(), cfg_.query_mode,
       final_rng, "dchag.final");
   register_child(*final_);
+}
+
+void DchagFrontEnd::rebind(Communicator& comm,
+                           std::vector<int> logical_slots) {
+  DCHAG_CHECK(static_cast<int>(logical_slots.size()) == comm.size(),
+              "rebind: slot map size " << logical_slots.size()
+                                       << " != group size " << comm.size());
+  int prev = -1;
+  for (int s : logical_slots) {
+    DCHAG_CHECK(s > prev && s < world_size_,
+                "rebind: logical slots must be strictly increasing in [0, "
+                    << world_size_ << ")");
+    prev = s;
+  }
+  // Tear down comm-bound lanes BEFORE swapping: the async progress thread
+  // holds a shadow group of the old comm. On a poisoned group, queued ops
+  // fail fast into their futures, so this join cannot hang.
+  async_.reset();
+  comm_ = &comm;
+  sync_coll_.emplace(comm);
+  tokenizer_->rebind(comm);
+  logical_slots_ = std::move(logical_slots);
 }
 
 Variable DchagFrontEnd::forward_local_partial(const Tensor& images) const {
@@ -205,8 +231,13 @@ Variable DchagFrontEnd::forward_subset(
   const int P = comm_->size();
 
   // This rank's slice of the subset: global ids in
-  // [rank*c_local, (rank+1)*c_local). Sorted ids make it contiguous.
-  const Index lo = static_cast<Index>(comm_->rank()) * c_local;
+  // [slot*c_local, (slot+1)*c_local), where slot is the original
+  // channel-partition slot this rank carries (== rank until a rebind
+  // remaps a survivor group). Sorted ids make it contiguous.
+  const Index lo =
+      static_cast<Index>(
+          logical_slots_[static_cast<std::size_t>(comm_->rank())]) *
+      c_local;
   const Index hi = lo + c_local;
   Index first = 0;
   Index count = 0;
@@ -241,17 +272,24 @@ Variable DchagFrontEnd::forward_subset(
                                         parallel::GatherBackward::kLocalSlice);
 
   // Keep only the representations of ranks that actually own subset
-  // channels (deterministic from `channels`, so all ranks agree).
+  // channels (deterministic from `channels`, so all ranks agree). Slot
+  // ids are the ORIGINAL partition slots, so after a survivor rebind the
+  // final aggregation sees the same kept reps in the same slots as the
+  // full-world subset forward would — dropped ranks look exactly like
+  // empty-intersection ranks, which is what makes degraded serving
+  // bit-exact on the surviving channels.
   std::vector<Variable> kept;
   std::vector<Index> slots;
   for (int r = 0; r < P; ++r) {
-    const Index rlo = static_cast<Index>(r) * c_local;
+    const Index slot =
+        static_cast<Index>(logical_slots_[static_cast<std::size_t>(r)]);
+    const Index rlo = slot * c_local;
     bool has = false;
     for (Index c : channels)
       if (c >= rlo && c < rlo + c_local) { has = true; break; }
     if (has) {
       kept.push_back(autograd::slice(gathered, 2, static_cast<Index>(r), 1));
-      slots.push_back(static_cast<Index>(r));
+      slots.push_back(slot);
     }
   }
   DCHAG_CHECK(!kept.empty(), "subset maps to no rank — empty channel list?");
@@ -266,7 +304,9 @@ Tensor DchagFrontEnd::slice_local_channels(const Tensor& full_images) const {
               "expected full [B, " << total_channels() << ", H, W], got "
                                    << full_images.shape().to_string());
   const Index c_local = local_channels();
-  return ops::slice(full_images, 1, comm_->rank() * c_local, c_local);
+  const Index slot =
+      static_cast<Index>(logical_slots_[static_cast<std::size_t>(comm_->rank())]);
+  return ops::slice(full_images, 1, slot * c_local, c_local);
 }
 
 std::unique_ptr<model::MaeModel> make_dchag_mae(

@@ -136,8 +136,28 @@ class DchagFrontEnd : public model::FrontEnd {
     return async_ ? &async_->stats() : nullptr;
   }
 
+  /// Elastic-recovery hook (serve/spmd_engine): rebinds this front-end to
+  /// a regrouped communicator after a rank failure. `logical_slots` maps
+  /// the new group's rank i to the ORIGINAL channel-partition slot it
+  /// carries (strictly increasing, values < the construction-time world
+  /// size; rank i's entry must be this rank's own original slot). Tears
+  /// down the async progress lane (it holds a shadow group of the old
+  /// comm) and rebuilds the sync lane; forward_subset and
+  /// slice_local_channels consult the slot map, so a degraded group
+  /// serves the surviving channels bit-exactly. The full-world forward()
+  /// remains valid only when the group is back to the original size (the
+  /// final aggregator's width is fixed at construction).
+  void rebind(Communicator& comm, std::vector<int> logical_slots);
+  /// Current rank -> original channel-slot map (identity until rebind).
+  [[nodiscard]] const std::vector<int>& logical_slots() const {
+    return logical_slots_;
+  }
+  /// Group size this front-end was constructed for (the channel-partition
+  /// width; survives rebinds to smaller survivor groups).
+  [[nodiscard]] int world_size() const { return world_size_; }
+
   /// The slice of the full input this rank consumes:
-  /// images[:, rank*C/P : (rank+1)*C/P].
+  /// images[:, slot*C/P : (slot+1)*C/P] (slot == rank until a rebind).
   [[nodiscard]] tensor::Tensor slice_local_channels(
       const tensor::Tensor& full_images) const;
   [[nodiscard]] tensor::Tensor select_input(
@@ -159,6 +179,11 @@ class DchagFrontEnd : public model::FrontEnd {
 
   ModelConfig cfg_;
   Communicator* comm_;
+  /// Construction-time group size == channel-partition width.
+  int world_size_;
+  /// Group rank -> original channel slot. Identity until rebind() maps a
+  /// survivor group onto the original partition.
+  std::vector<int> logical_slots_;
   /// Pinned execution context (nullopt = read the ambient context per
   /// forward). Legacy DchagOptions::kernels/comm overlays land here too.
   std::optional<runtime::Context> ctx_;

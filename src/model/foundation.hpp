@@ -94,6 +94,10 @@ class MaeModel : public Module {
                                         float mask_ratio, Rng& rng);
 
   [[nodiscard]] const FrontEnd& frontend() const { return *frontend_; }
+  /// Mutable access for structural maintenance (e.g. rebinding a
+  /// distributed front-end to a regrouped communicator after a rank
+  /// failure). Weights are NOT meant to be touched through this.
+  [[nodiscard]] FrontEnd& frontend_mut() { return *frontend_; }
   [[nodiscard]] const ModelConfig& config() const { return cfg_; }
 
  private:
@@ -148,6 +152,10 @@ class ForecastModel : public Module {
       const Tensor& pred, const Tensor& target_images, Index patch);
 
   [[nodiscard]] const FrontEnd& frontend() const { return *frontend_; }
+  /// Mutable access for structural maintenance (e.g. rebinding a
+  /// distributed front-end to a regrouped communicator after a rank
+  /// failure). Weights are NOT meant to be touched through this.
+  [[nodiscard]] FrontEnd& frontend_mut() { return *frontend_; }
   [[nodiscard]] const ModelConfig& config() const { return cfg_; }
 
  private:

@@ -38,6 +38,13 @@ class DistributedTokenizer : public autograd::Module {
     return *tokenizer_;
   }
 
+  /// Elastic-recovery hook: swaps the communicator after the group is
+  /// regrouped around a failure. The channel partition (and the local
+  /// tokenizer weights) are fixed at construction and do NOT follow the
+  /// new group's shape — callers route through the owner of each original
+  /// slot (core::DchagFrontEnd::rebind keeps the slot map).
+  void rebind(Communicator& comm) { comm_ = &comm; }
+
  private:
   Index total_channels_;
   Communicator* comm_;

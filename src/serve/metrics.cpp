@@ -11,7 +11,9 @@ std::string Metrics::Snapshot::to_string() const {
      << " p50=" << p50_ms << "ms p95=" << p95_ms << "ms p99=" << p99_ms
      << "ms queue=" << mean_queue_ms << "ms forward=" << mean_forward_ms
      << "ms rate=" << requests_per_s << "req/s max_depth="
-     << max_queue_depth;
+     << max_queue_depth << " recoveries=" << recoveries << " recovery="
+     << mean_recovery_ms << "ms hedged=" << hedged_dispatches
+     << " degraded=" << degraded_responses;
   return os.str();
 }
 

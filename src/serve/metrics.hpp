@@ -28,6 +28,12 @@ class Metrics {
     double mean_forward_ms = 0.0;  ///< model forward per batch
     double requests_per_s = 0.0;   ///< over the recording window
     std::uint64_t max_queue_depth = 0;
+    std::uint64_t recoveries = 0;  ///< rank failures healed (respawn done)
+    double mean_recovery_ms = 0.0;  ///< failure detection -> heal ready
+    std::uint64_t hedged_dispatches = 0;  ///< jobs re-dispatched past the
+                                          ///< straggler hedge timeout
+    std::uint64_t degraded_responses = 0;  ///< answers served from a
+                                           ///< survivor channel subset
 
     [[nodiscard]] std::string to_string() const;
   };
@@ -51,6 +57,29 @@ class Metrics {
     ++failed_;
   }
 
+  /// One completed elastic recovery: a failed rank was respawned and the
+  /// world is back at full channel width. `recovery_ms` spans failure
+  /// detection to heal-ready (degraded serving continues throughout).
+  void record_recovery(double recovery_ms) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++recoveries_;
+    recovery_ms_sum_ += recovery_ms;
+  }
+
+  /// run() re-dispatched a job whose first pass was stuck past the hedge
+  /// timeout (straggler or in-flight recovery).
+  void record_hedged_dispatch() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++hedged_dispatches_;
+  }
+
+  /// An answer served from the surviving channel subset of a degraded
+  /// world (correct for those channels, narrower than requested inputs).
+  void record_degraded_response() {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++degraded_responses_;
+  }
+
   void observe_queue_depth(std::uint64_t depth) {
     std::lock_guard<std::mutex> lock(mu_);
     max_queue_depth_ = std::max(max_queue_depth_, depth);
@@ -71,6 +100,11 @@ class Metrics {
     s.batches = batches_;
     s.failed = failed_;
     s.max_queue_depth = max_queue_depth_;
+    s.recoveries = recoveries_;
+    s.hedged_dispatches = hedged_dispatches_;
+    s.degraded_responses = degraded_responses_;
+    if (recoveries_ > 0)
+      s.mean_recovery_ms = recovery_ms_sum_ / static_cast<double>(recoveries_);
     if (batches_ > 0) {
       s.mean_batch_size = static_cast<double>(batched_requests_) /
                           static_cast<double>(batches_);
@@ -107,6 +141,10 @@ class Metrics {
   std::uint64_t failed_ = 0;
   std::uint64_t batched_requests_ = 0;
   std::uint64_t max_queue_depth_ = 0;
+  std::uint64_t recoveries_ = 0;
+  std::uint64_t hedged_dispatches_ = 0;
+  std::uint64_t degraded_responses_ = 0;
+  double recovery_ms_sum_ = 0.0;
   double queue_ms_sum_ = 0.0;
   double forward_ms_sum_ = 0.0;
   double window_start_ms_ = -1.0;

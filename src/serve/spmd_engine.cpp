@@ -3,22 +3,48 @@
 
 #include "serve/spmd_engine.hpp"
 
+#include <algorithm>
+#include <numeric>
+#include <utility>
+
+#include "core/dchag_frontend.hpp"
+#include "tensor/ops.hpp"
+#include "train/checkpoint.hpp"
+
 namespace dchag::serve {
+
+namespace {
+
+std::string shard_path(const std::string& dir, int world_rank) {
+  return dir + "/rank_" + std::to_string(world_rank) + ".ckpt";
+}
+
+std::vector<int> full_membership(int ranks) {
+  std::vector<int> full(static_cast<std::size_t>(ranks));
+  std::iota(full.begin(), full.end(), 0);
+  return full;
+}
+
+}  // namespace
 
 SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory,
                        SpmdEngineConfig cfg, const runtime::Context& ctx)
     // Capture the submitter's EFFECTIVE context: scopes active on the
     // constructing thread fold in here and reach every rank thread.
-    : ranks_(ranks), ctx_(ctx.effective()) {
+    : ranks_(ranks),
+      ctx_(ctx.effective()),
+      factory_(std::move(factory)),
+      metrics_(std::move(cfg.metrics)),
+      checkpoint_dir_(std::move(cfg.checkpoint_dir)),
+      hedge_timeout_(cfg.hedge_timeout) {
   DCHAG_CHECK(ranks_ >= 1, "SpmdEngine needs >= 1 rank");
-  DCHAG_CHECK(factory != nullptr, "SpmdEngine needs a model factory");
+  DCHAG_CHECK(factory_ != nullptr, "SpmdEngine needs a model factory");
 #ifdef DCHAG_DEPRECATED_CONFIG
   if (cfg.fault_plan)
     ctx_ = ctx_.to_builder().fault_plan(cfg.fault_plan).build();
-#else
-  (void)cfg;  // empty struct once the deprecated fault slot is compiled out
 #endif
-  world_thread_ = std::thread([this, factory = std::move(factory)] {
+  serving_members_ = full_membership(ranks_);
+  world_thread_ = std::thread([this] {
     try {
       comm::World world(ranks_);
       if (ctx_.fault_plan()) world.set_fault_plan(ctx_.fault_plan());
@@ -34,9 +60,14 @@ SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory,
         autograd::NoGradGuard no_grad;
         std::unique_ptr<model::ForecastModel> model;
         try {
-          model = factory(comm);
+          model = factory_(comm);
           DCHAG_CHECK(model != nullptr, "rank model factory returned null");
           model->eval();
+          // Cold-start shard: what a respawned rank reloads after a
+          // death. Written before ready so a heal never races the save.
+          if (!checkpoint_dir_.empty())
+            train::save_module(shard_path(checkpoint_dir_, comm.rank()),
+                               *model);
         } catch (...) {
           {
             std::lock_guard<std::mutex> lock(mu_);
@@ -60,46 +91,7 @@ SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory,
           });
           if (failed_ranks_ > 0) return;
         }
-
-        std::uint64_t seen = 0;
-        for (;;) {
-          Job job;
-          {
-            std::unique_lock<std::mutex> lock(mu_);
-            cv_job_.wait(lock, [&] { return stop_ || job_seq_ > seen; });
-            if (stop_) return;
-            seen = job_seq_;
-            job = job_;
-          }
-          // A throwing forward must not kill the world: capture the error
-          // and keep serving. Model validation runs on identical inputs on
-          // every rank before any collective, so failures are uniform and
-          // all ranks reach the barrier with the same (error) outcome.
-          autograd::Variable pred;
-          std::exception_ptr err;
-          try {
-            pred = job.channels->empty()
-                       ? model->predict(
-                             model->frontend().select_input(*job.images),
-                             job.lead_time)
-                       : model->predict_subset(*job.images, *job.channels,
-                                               job.lead_time);
-          } catch (...) {
-            err = std::current_exception();
-          }
-          // All ranks hold the replicated outcome; sync before rank 0
-          // publishes so no rank still reads the job slot afterwards.
-          comm.barrier();
-          if (comm.rank() == 0) {
-            {
-              std::lock_guard<std::mutex> lock(mu_);
-              job_error_ = err;
-              if (!err) result_ = pred.value();
-              done_seq_ = seen;
-            }
-            cv_done_.notify_all();
-          }
-        }
+        serve_loop(&comm, model.get(), /*min_stamp=*/0);
       });
     } catch (...) {
       {
@@ -132,7 +124,259 @@ void SpmdEngine::stop_and_join() {
     stop_ = true;
   }
   cv_job_.notify_all();
+  cv_done_.notify_all();
   if (world_thread_.joinable()) world_thread_.join();
+  // Respawned rank threads are engine-owned, not World-owned. Drain in a
+  // loop: a recovery racing the shutdown may append one more batch.
+  for (;;) {
+    std::vector<std::thread> drained;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      drained.swap(respawn_threads_);
+    }
+    if (drained.empty()) break;
+    for (std::thread& t : drained) t.join();
+  }
+}
+
+void SpmdEngine::serve_loop(comm::Communicator* active,
+                            model::ForecastModel* model,
+                            std::uint64_t min_stamp) {
+  auto* fe = dynamic_cast<core::DchagFrontEnd*>(&model->frontend_mut());
+  // Regrouped handles (degraded survivor groups, adopted healed groups)
+  // live here; `active` always points at the current one.
+  std::optional<comm::Communicator> owned;
+  std::uint64_t adopted = 0;
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A respawned participant (min_stamp > 0) consumes only jobs
+      // stamped at or past its recovery epoch: everything earlier ran —
+      // or is running — on groups it is not part of.
+      cv_job_.wait(lock, [&] {
+        return stop_ || (job_seq_ > seen && job_.heal_epoch >= min_stamp);
+      });
+      if (stop_) return;
+      seen = job_seq_;
+      job = job_;
+    }
+    bool done = false;
+    while (!done) {
+      try {
+        if (fe != nullptr && job.heal_epoch > adopted) {
+          // A heal completed: every participant moves to the full-width
+          // group at this same stamped job, so the collective schedule
+          // stays lockstep. The respawned rank pre-joined the same group
+          // ("healed@<epoch>") through its minted handle.
+          const std::vector<int> full = full_membership(ranks_);
+          owned = active->split_survivors(
+              full, "healed@" + std::to_string(job.heal_epoch));
+          active = &*owned;
+          fe->rebind(*active, full);
+          adopted = job.heal_epoch;
+        }
+        execute_job(*active, *model, job, seen);
+        done = true;
+      } catch (const comm::RankFailure&) {
+        // Structural fault. Non-D-CHAG front-ends cannot regroup (their
+        // channel partition is invisible to us): let the world die and
+        // surface the repro string through failure_.
+        if (fe == nullptr) throw;
+        if (!recover(&active, &owned, fe)) return;  // casualty: exit
+        // Survivor: retry the interrupted job on the regrouped world.
+      }
+    }
+  }
+}
+
+void SpmdEngine::execute_job(comm::Communicator& comm,
+                             model::ForecastModel& model, const Job& job,
+                             std::uint64_t seq) {
+  auto* fe = dynamic_cast<core::DchagFrontEnd*>(&model.frontend_mut());
+  const bool degraded_world = fe != nullptr && comm.size() < fe->world_size();
+  // A throwing forward must not kill the world: capture the error and
+  // keep serving. Model validation runs on identical inputs on every rank
+  // before any collective, so failures are uniform and all ranks reach
+  // the barrier with the same (error) outcome. RankFailure is the
+  // exception: it unwinds into recovery instead of publishing.
+  autograd::Variable pred;
+  std::exception_ptr err;
+  bool degraded_answer = false;
+  try {
+    if (!degraded_world) {
+      pred = job.channels->empty()
+                 ? model.predict(model.frontend().select_input(*job.images),
+                                 job.lead_time)
+                 : model.predict_subset(*job.images, *job.channels,
+                                        job.lead_time);
+    } else {
+      // Degraded survivor group: serve from the surviving channels. The
+      // head still predicts every target channel, so the output shape is
+      // unchanged, and the subset forward's arithmetic is identical to a
+      // healthy world's forward over the same channel subset.
+      const Index c_local = fe->local_channels();
+      std::vector<Index> surviving;
+      surviving.reserve(fe->logical_slots().size() *
+                        static_cast<std::size_t>(c_local));
+      for (int slot : fe->logical_slots())
+        for (Index c = 0; c < c_local; ++c)
+          surviving.push_back(static_cast<Index>(slot) * c_local + c);
+      if (job.channels->empty()) {
+        // Full-channel request: slice the survivors' slots out of the
+        // full batch and run the subset path over all of them.
+        std::vector<Tensor> slabs;
+        slabs.reserve(fe->logical_slots().size());
+        for (int slot : fe->logical_slots())
+          slabs.push_back(tensor::ops::slice(
+              *job.images, 1, static_cast<Index>(slot) * c_local, c_local));
+        const Tensor sub = slabs.size() == 1 ? slabs.front()
+                                             : tensor::ops::concat(slabs, 1);
+        pred = model.predict_subset(sub, surviving, job.lead_time);
+        degraded_answer = true;
+      } else {
+        // Subset request: serve the surviving intersection.
+        std::vector<Index> inter;
+        std::vector<Index> cols;  // positions within the request batch
+        for (std::size_t i = 0; i < job.channels->size(); ++i) {
+          const Index c = (*job.channels)[i];
+          if (std::binary_search(surviving.begin(), surviving.end(), c)) {
+            inter.push_back(c);
+            cols.push_back(static_cast<Index>(i));
+          }
+        }
+        DCHAG_CHECK(!inter.empty(),
+                    "degraded world: no requested channel survives");
+        degraded_answer = inter.size() < job.channels->size();
+        std::vector<Tensor> slabs;
+        slabs.reserve(cols.size());
+        for (Index i : cols)
+          slabs.push_back(tensor::ops::slice(*job.images, 1, i, 1));
+        const Tensor sub = slabs.size() == 1 ? slabs.front()
+                                             : tensor::ops::concat(slabs, 1);
+        pred = model.predict_subset(sub, inter, job.lead_time);
+      }
+    }
+  } catch (const comm::RankFailure&) {
+    throw;
+  } catch (...) {
+    err = std::current_exception();
+  }
+  // All ranks hold the replicated outcome; sync before the group leader
+  // publishes so no rank still reads the job slot afterwards.
+  comm.barrier();
+  if (comm.rank() == 0) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      job_error_ = err;
+      if (!err) result_ = pred.value();
+      done_seq_ = std::max(done_seq_, seq);
+    }
+    if (degraded_answer && !err && metrics_)
+      metrics_->record_degraded_response();
+    cv_done_.notify_all();
+  }
+}
+
+bool SpmdEngine::recover(comm::Communicator** active,
+                         std::optional<comm::Communicator>* owned,
+                         core::DchagFrontEnd* fe) {
+  for (;;) {
+    const std::uint64_t epoch = (*active)->fault_epoch();
+    const std::vector<int> alive = (*active)->alive_world_ranks();
+    const int me = (*active)->world_rank();
+    if (!std::binary_search(alive.begin(), alive.end(), me))
+      return false;  // this participant is the casualty
+    comm::Communicator next = (*active)->split_survivors(
+        alive, "degraded@" + std::to_string(epoch));
+    // Another event may have fired while we regrouped; the group we just
+    // joined may then not match what the other survivors build — go
+    // again with the fresh epoch. The stale group is abandoned; anyone
+    // who DID start waiting in it holds a pre-event handle, which the
+    // new event poisons, so nobody is stranded.
+    if (next.fault_epoch() != epoch) continue;
+    *owned = std::move(next);
+    *active = &**owned;
+    // Survivor group rank i keeps its original channel slot: world rank
+    // r owned slot r at construction, so the alive list IS the slot map.
+    fe->rebind(**active, alive);
+    if (me == alive.front()) begin_recovery(**active, epoch, alive);
+    return true;
+  }
+}
+
+void SpmdEngine::begin_recovery(comm::Communicator& group,
+                                std::uint64_t epoch,
+                                const std::vector<int>& alive) {
+  const std::vector<int> full = full_membership(ranks_);
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<int> newly_dead;
+  for (int r : serving_members_)
+    if (!std::binary_search(alive.begin(), alive.end(), r))
+      newly_dead.push_back(r);
+  serving_members_ = alive;
+  if (newly_dead.empty() || stop_) return;
+  recovery_start_ = std::chrono::steady_clock::now();
+  latest_recovery_epoch_ = epoch;
+  for (int r : newly_dead) {
+    ++pending_respawns_;
+    // Mint the respawned rank's full-width handle here, on a stable
+    // communicator; the thread owns it outright. It joins the same
+    // "healed@<epoch>" group the survivors adopt at the stamped job.
+    respawn_threads_.emplace_back(
+        [this, epoch,
+         handle = group.split_survivors_for(
+             r, full, "healed@" + std::to_string(epoch))]() mutable {
+          respawn_rank(std::move(handle), epoch);
+        });
+  }
+}
+
+void SpmdEngine::respawn_rank(comm::Communicator healed,
+                              std::uint64_t epoch) {
+  runtime::Scope ctx_scope(ctx_);
+  autograd::NoGradGuard no_grad;
+  std::unique_ptr<model::ForecastModel> model;
+  try {
+    // Same factory, same master seed: the rebuilt shard's replicated
+    // parameters match the survivors'. The checkpoint reload covers
+    // deployments whose rank-local weights have drifted from the seed
+    // (e.g. after training) — and round-trips bit-for-bit regardless.
+    model = factory_(healed);
+    DCHAG_CHECK(model != nullptr, "respawn model factory returned null");
+    model->eval();
+    if (!checkpoint_dir_.empty())
+      train::load_module(shard_path(checkpoint_dir_, healed.rank()), *model);
+  } catch (...) {
+    // The heal failed but the degraded world keeps serving; surface the
+    // error on wait_recovered() rather than killing the engine.
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_respawns_;
+      heal_error_ = std::current_exception();
+    }
+    cv_done_.notify_all();
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--pending_respawns_ == 0) {
+      // Stamp jobs with the newest recovery epoch: every participant
+      // switches to the full-width group at the first job dispatched
+      // from here on (run() copies the stamp under this same mutex).
+      heal_ready_epoch_ = latest_recovery_epoch_;
+      serving_members_ = full_membership(ranks_);
+      if (metrics_) {
+        metrics_->record_recovery(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - recovery_start_)
+                .count());
+      }
+    }
+  }
+  cv_done_.notify_all();
+  serve_loop(&healed, model.get(), /*min_stamp=*/epoch);
 }
 
 Tensor SpmdEngine::run(const Tensor& images,
@@ -141,13 +385,38 @@ Tensor SpmdEngine::run(const Tensor& images,
   std::unique_lock<std::mutex> lock(mu_);
   if (failure_) std::rethrow_exception(failure_);
   DCHAG_CHECK(!stop_, "run() on a stopped SpmdEngine");
-  job_ = Job{&images, &channels, lead_time};
-  const std::uint64_t seq = ++job_seq_;
+  job_ = Job{&images, &channels, lead_time, heal_ready_epoch_};
+  std::uint64_t seq = ++job_seq_;
   cv_job_.notify_all();
-  cv_done_.wait(lock, [&] { return done_seq_ >= seq || failure_ != nullptr; });
+  const auto answered = [&] {
+    return done_seq_ >= seq || failure_ != nullptr;
+  };
+  if (hedge_timeout_.count() <= 0) {
+    cv_done_.wait(lock, answered);
+  } else if (!cv_done_.wait_for(lock, hedge_timeout_, answered)) {
+    // Hedged dispatch: the pass is stuck behind a straggler or an
+    // in-flight recovery. Every rank serves passes strictly in order,
+    // so a re-issued pass could never overtake the stuck one here —
+    // worse, a second seq can reach late-picking ranks as their FIRST
+    // pass, splitting the world across pass counts and wedging the
+    // collective schedule. The hedge therefore records the tail event
+    // and re-signals the world, then rides out the original pass.
+    if (metrics_) metrics_->record_hedged_dispatch();
+    cv_job_.notify_all();
+    cv_done_.wait(lock, answered);
+  }
   if (failure_) std::rethrow_exception(failure_);
   if (job_error_) std::rethrow_exception(job_error_);  // world still serves
   return result_;
+}
+
+void SpmdEngine::wait_recovered() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_done_.wait(lock, [&] {
+    return stop_ || failure_ != nullptr || pending_respawns_ == 0;
+  });
+  if (failure_) std::rethrow_exception(failure_);
+  if (heal_error_) std::rethrow_exception(heal_error_);
 }
 
 InferenceFn SpmdEngine::inference_fn() {

@@ -6,6 +6,7 @@
 
 #include "comm/fault.hpp"
 #include "core/dchag_frontend.hpp"
+#include "testing/schedules.hpp"
 
 namespace dchag::core {
 namespace {
@@ -20,20 +21,11 @@ using tensor::Rng;
 using tensor::Shape;
 using tensor::Tensor;
 
+// Shared with the chaos suite: a pure function of the seed (see
+// tests/testing/schedules.hpp), so "schedule N" in a failure message
+// reproduces the exact timing run.
 FaultSpec schedule(std::uint64_t seed) {
-  // Aggressive but microsecond-scale: enough to reorder completions and
-  // force retries, cheap enough for 64 schedules in one ctest entry.
-  FaultSpec s;
-  s.seed = seed;
-  s.min_edge_delay_us = 0;
-  s.max_edge_delay_us = 120;
-  s.drop_prob = 0.3;
-  s.max_retries = 2;
-  s.retry_backoff_us = 20;
-  s.max_completion_jitter_us = 100;
-  // Odd seeds get a straggler rank on top of the random link delays.
-  if (seed % 2 == 1) s.per_rank_delay_us = {0, 150};
-  return s;
+  return dchag::testing::timing_schedule(seed);
 }
 
 TEST(AsyncStress, SixtyFourSchedulesBitIdenticalSyncVsAsync) {

@@ -99,6 +99,174 @@ TEST(SpmdFault, StragglerRankStillServesExactResultsWithTailMetrics) {
   // Engines destruct here: a deadlocked shutdown fails via ctest timeout.
 }
 
+TEST(SpmdFault, HedgedDispatchFiresOnStragglersWithoutFakingARecovery) {
+  ModelConfig cfg = ModelConfig::tiny();
+  // A much harsher straggler than the tail-latency test: every job takes
+  // >> 1 ms, so a 1 ms hedge budget must trip at least once.
+  comm::FaultSpec spec;
+  spec.seed = 404;
+  spec.per_rank_delay_us = {0, 0, 3000, 0};
+  const runtime::Context ctx =
+      runtime::ContextBuilder()
+          .fault_plan(comm::make_fault_plan(spec, kRanks))
+          .build();
+  SpmdEngineConfig ecfg;
+  ecfg.metrics = std::make_shared<Metrics>();
+  ecfg.hedge_timeout = std::chrono::milliseconds(1);
+  SpmdEngine slow(kRanks, make_factory(cfg, {}), ecfg, ctx);
+  SpmdEngine quiet(kRanks, make_factory(cfg, {}));
+
+  for (int i = 0; i < 4; ++i) {
+    Tensor batch = sample_batch(700 + static_cast<std::uint64_t>(i))
+                       .reshape(Shape{1, kChannels, 16, 16});
+    // Hedging re-runs the same deterministic job: still bit-exact.
+    ASSERT_EQ(ops::max_abs_diff(slow.run(batch, {}, 1.0f),
+                                quiet.run(batch, {}, 1.0f)),
+              0.0f)
+        << "request " << i;
+  }
+  const Metrics::Snapshot m = ecfg.metrics->summary();
+  EXPECT_GE(m.hedged_dispatches, 1u);
+  // Stragglers are slowness, not failure: no recovery machinery fired.
+  EXPECT_EQ(m.recoveries, 0u);
+  EXPECT_EQ(m.mean_recovery_ms, 0.0);
+  EXPECT_EQ(m.degraded_responses, 0u);
+}
+
+TEST(SpmdFault, RankDeathServesDegradedThenHealsBitExact) {
+  ModelConfig cfg = ModelConfig::tiny();
+  comm::FaultSpec spec;
+  spec.seed = 11;
+  comm::RankDeathEvent death;
+  death.rank = 2;
+  death.at_op = 2;
+  spec.deaths.push_back(death);
+  const auto plan = comm::make_fault_plan(spec, kRanks);
+  const runtime::Context ctx =
+      runtime::ContextBuilder().fault_plan(plan).build();
+  SpmdEngineConfig ecfg;
+  ecfg.metrics = std::make_shared<Metrics>();
+  ecfg.checkpoint_dir = ::testing::TempDir();  // exercise shard reload
+  SpmdEngine engine(kRanks, make_factory(cfg, {}), ecfg, ctx);
+  SpmdEngine oracle(kRanks, make_factory(cfg, {}));
+
+  const Tensor batch =
+      sample_batch(900).reshape(Shape{1, kChannels, 16, 16});
+  const Tensor full = oracle.run(batch, {}, 1.0f);
+  // Rank 2's channels are lost while degraded; the healthy oracle's
+  // answer for the surviving subset is the degraded ground truth.
+  const Index c_local = kChannels / kRanks;
+  std::vector<Index> surviving;
+  std::vector<Tensor> slabs;
+  for (int slot : {0, 1, 3}) {
+    for (Index c = 0; c < c_local; ++c)
+      surviving.push_back(static_cast<Index>(slot) * c_local + c);
+    slabs.push_back(ops::slice(batch, 1,
+                               static_cast<Index>(slot) * c_local, c_local));
+  }
+  const Tensor degraded_batch = ops::concat(slabs, 1);
+  const Tensor degraded = oracle.run(degraded_batch, surviving, 1.0f);
+
+  // Drive jobs until the death fires; every answer is either the healthy
+  // result (before the event / after the heal) or the degraded one.
+  bool saw_degraded = false;
+  for (int i = 0; i < 8; ++i) {
+    const Tensor got = engine.run(batch, {}, 1.0f);
+    const bool is_full = ops::max_abs_diff(got, full) == 0.0f;
+    const bool is_degraded = ops::max_abs_diff(got, degraded) == 0.0f;
+    ASSERT_TRUE(is_full || is_degraded)
+        << "job " << i << " matches neither | repro: " << plan->describe();
+    saw_degraded = saw_degraded || is_degraded;
+  }
+  ASSERT_TRUE(saw_degraded) << "death never fired | " << plan->describe();
+
+  engine.wait_recovered();
+  // The respawned rank rebuilt from the factory + checkpoint shard: the
+  // healed world answers bit-exactly like a never-failed one.
+  ASSERT_EQ(ops::max_abs_diff(engine.run(batch, {}, 1.0f), full), 0.0f)
+      << plan->describe();
+  const Metrics::Snapshot m = ecfg.metrics->summary();
+  EXPECT_EQ(m.recoveries, 1u);
+  EXPECT_GT(m.mean_recovery_ms, 0.0);
+  EXPECT_GE(m.degraded_responses, 1u);
+  for (int r = 0; r < kRanks; ++r)
+    std::remove((ecfg.checkpoint_dir + "/rank_" + std::to_string(r) +
+                 ".ckpt")
+                    .c_str());
+}
+
+TEST(SpmdFault, DegradedSubsetRequestsServeTheSurvivingIntersection) {
+  ModelConfig cfg = ModelConfig::tiny();
+  comm::FaultSpec spec;
+  spec.seed = 12;
+  comm::RankDeathEvent death;
+  death.rank = 1;
+  death.at_op = 1;
+  spec.deaths.push_back(death);
+  const runtime::Context ctx =
+      runtime::ContextBuilder()
+          .fault_plan(comm::make_fault_plan(spec, kRanks))
+          .build();
+  SpmdEngineConfig ecfg;
+  ecfg.metrics = std::make_shared<Metrics>();
+  ecfg.checkpoint_dir = ::testing::TempDir();
+  SpmdEngine engine(kRanks, make_factory(cfg, {}), ecfg, ctx);
+  SpmdEngine oracle(kRanks, make_factory(cfg, {}));
+  // Sabotage the heal: with rank 1's shard gone the respawn cannot
+  // reload, so the world stays degraded deterministically (the racy
+  // alternative — asserting mid-heal — would flake) and the heal error
+  // surfaces on wait_recovered() instead of killing the engine.
+  for (int r = 0; r < kRanks; ++r)
+    std::remove((ecfg.checkpoint_dir + "/rank_" + std::to_string(r) +
+                 ".ckpt")
+                    .c_str());
+
+  const Tensor batch =
+      sample_batch(901).reshape(Shape{1, kChannels, 16, 16});
+  // Kill rank 1 (channels {2,3}) by running full jobs until degraded.
+  const Index c_local = kChannels / kRanks;
+  std::vector<Index> surviving;
+  std::vector<Tensor> slabs;
+  for (int slot : {0, 2, 3}) {
+    for (Index c = 0; c < c_local; ++c)
+      surviving.push_back(static_cast<Index>(slot) * c_local + c);
+    slabs.push_back(ops::slice(batch, 1,
+                               static_cast<Index>(slot) * c_local, c_local));
+  }
+  const Tensor full = oracle.run(batch, {}, 1.0f);
+  const Tensor degraded =
+      oracle.run(ops::concat(slabs, 1), surviving, 1.0f);
+  for (int i = 0; i < 8; ++i) {
+    const Tensor got = engine.run(batch, {}, 1.0f);
+    if (ops::max_abs_diff(got, degraded) == 0.0f) break;
+    ASSERT_EQ(ops::max_abs_diff(got, full), 0.0f) << "job " << i;
+  }
+  ASSERT_GE(ecfg.metrics->summary().degraded_responses, 1u);
+  EXPECT_THROW(engine.wait_recovered(), Error);  // the sabotaged heal
+
+  // A subset request straddling dead channels {2,3}: the engine serves
+  // the surviving intersection {1, 4}, matching the healthy oracle's
+  // answer for exactly that narrower subset.
+  const std::vector<Index> request{1, 2, 4};
+  std::vector<Tensor> req_slabs;
+  for (Index c : request) req_slabs.push_back(ops::slice(batch, 1, c, 1));
+  const Tensor req_img = ops::concat(req_slabs, 1);
+  const std::vector<Index> inter{1, 4};
+  std::vector<Tensor> inter_slabs;
+  for (Index c : inter) inter_slabs.push_back(ops::slice(batch, 1, c, 1));
+  const Tensor expect_inter =
+      oracle.run(ops::concat(inter_slabs, 1), inter, 1.0f);
+  ASSERT_EQ(
+      ops::max_abs_diff(engine.run(req_img, request, 1.0f), expect_inter),
+      0.0f);
+  // A request owned entirely by the dead rank cannot be served degraded.
+  const std::vector<Index> dead_only{2, 3};
+  std::vector<Tensor> dead_slabs;
+  for (Index c : dead_only) dead_slabs.push_back(ops::slice(batch, 1, c, 1));
+  const Tensor dead_img = ops::concat(dead_slabs, 1);
+  EXPECT_THROW((void)engine.run(dead_img, dead_only, 1.0f), Error);
+}
+
 TEST(SpmdFault, EngineShutdownWithFaultsAndNoTrafficDoesNotDeadlock) {
   ModelConfig cfg = ModelConfig::tiny();
   SpmdEngine engine(kRanks,

@@ -1,0 +1,107 @@
+// Seeded fault-schedule generators shared by the stress and chaos suites
+// (tests/integration/async_stress_test.cpp, spmd_chaos_test.cpp). Every
+// schedule is a pure function of its seed so a failure message carrying
+// `seed=<n>` plus FaultPlan::describe() reproduces the exact run.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "comm/fault.hpp"
+
+namespace dchag::testing {
+
+/// Timing-only adversarial schedule: random link delays, drops + retries,
+/// completion jitter; odd seeds add a straggler rank. Aggressive but
+/// microsecond-scale — cheap enough for 64 schedules in one ctest entry.
+inline comm::FaultSpec timing_schedule(std::uint64_t seed) {
+  comm::FaultSpec s;
+  s.seed = seed;
+  s.min_edge_delay_us = 0;
+  s.max_edge_delay_us = 120;
+  s.drop_prob = 0.3;
+  s.max_retries = 2;
+  s.retry_backoff_us = 20;
+  s.max_completion_jitter_us = 100;
+  // Odd seeds get a straggler rank on top of the random link delays.
+  if (seed % 2 == 1) s.per_rank_delay_us = {0, 150};
+  return s;
+}
+
+/// Structural chaos archetypes layered over a (milder) timing schedule.
+enum class ChaosKind { kDeath, kPartition, kStraggler };
+
+/// Deterministic chaos schedule for a `ranks`-wide world. kDeath kills one
+/// seeded rank at a seeded early op; kPartition opens a seeded island
+/// window (the minority side dies); kStraggler is timing-only with one
+/// heavily delayed rank — liveness pressure without structural failure.
+/// Structural events use at_op >= 1 so cold-start collectives complete.
+inline comm::FaultSpec chaos_schedule(std::uint64_t seed, ChaosKind kind,
+                                      int ranks) {
+  comm::FaultSpec s;
+  s.seed = seed;
+  s.min_edge_delay_us = 0;
+  s.max_edge_delay_us = 60;
+  s.max_completion_jitter_us = 40;
+  switch (kind) {
+    case ChaosKind::kDeath: {
+      comm::RankDeathEvent death;
+      death.rank = static_cast<int>(seed % static_cast<std::uint64_t>(ranks));
+      death.at_op = 1 + (seed / 7) % 3;
+      s.deaths.push_back(death);
+      break;
+    }
+    case ChaosKind::kPartition: {
+      comm::PartitionEvent part;
+      part.at_op = 1 + (seed / 5) % 3;
+      part.duration_ops = 1 + seed % 3;
+      // A contiguous island of 1..ranks-1 members at a seeded offset.
+      const int k =
+          1 + static_cast<int>(seed % static_cast<std::uint64_t>(ranks - 1));
+      const int start =
+          static_cast<int>((seed / 3) % static_cast<std::uint64_t>(ranks));
+      for (int i = 0; i < k; ++i)
+        part.island.push_back((start + i) % ranks);
+      s.partitions.push_back(part);
+      break;
+    }
+    case ChaosKind::kStraggler: {
+      s.drop_prob = 0.25;
+      s.max_retries = 2;
+      s.retry_backoff_us = 30;
+      s.per_rank_delay_us.assign(static_cast<std::size_t>(ranks), 0);
+      s.per_rank_delay_us[seed % static_cast<std::uint64_t>(ranks)] = 400;
+      break;
+    }
+  }
+  return s;
+}
+
+/// The world ranks a chaos schedule will kill, sorted — the same rule the
+/// comm layer applies (FaultPlan::partition_event): a death kills its
+/// rank; a partition kills the minority side, ties killing the side
+/// without world rank 0.
+inline std::vector<int> chaos_casualties(const comm::FaultSpec& s,
+                                         int ranks) {
+  std::vector<int> dead;
+  for (const comm::RankDeathEvent& d : s.deaths) dead.push_back(d.rank);
+  for (const comm::PartitionEvent& p : s.partitions) {
+    std::vector<int> island = p.island;
+    std::sort(island.begin(), island.end());
+    std::vector<int> rest;
+    for (int r = 0; r < ranks; ++r)
+      if (!std::binary_search(island.begin(), island.end(), r))
+        rest.push_back(r);
+    const bool island_loses =
+        island.size() < rest.size() ||
+        (island.size() == rest.size() && island.front() != 0);
+    const std::vector<int>& side = island_loses ? island : rest;
+    dead.insert(dead.end(), side.begin(), side.end());
+  }
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  return dead;
+}
+
+}  // namespace dchag::testing
