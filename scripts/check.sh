@@ -48,6 +48,15 @@ if [[ "$format_only" == 1 ]]; then
   exit 0
 fi
 
+# A crashed or interrupted ingress test run can leave worker processes
+# polling their rings forever and shm segments behind; sweep both so the
+# ingress suites below start from a clean slate. The bracketed pattern
+# keeps pkill from matching this script's own command line, and plain
+# "pkill -x" would miss the workers (comm truncates at 15 chars).
+echo "== sweep stray ingress workers + shm segments"
+pkill -f '[d]chag_ingress_worker' 2>/dev/null && echo "   killed stray workers" || true
+[ -d /dev/shm ] && rm -f /dev/shm/dchag_ing_* 2>/dev/null || true
+
 echo "== configure"
 cmake -B "$build_dir" -S . -DDCHAG_BUILD_BENCH=ON
 echo "== build"

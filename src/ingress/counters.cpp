@@ -1,0 +1,25 @@
+#include "ingress/counters.hpp"
+
+#include <sstream>
+
+namespace dchag::ingress {
+
+std::string Counters::Snapshot::to_exposition() const {
+  std::ostringstream os;
+  os << "dchag_ingress_connections_total " << connections << "\n"
+     << "dchag_ingress_accepted_total " << accepted << "\n"
+     << "dchag_ingress_rejected_saturated_total " << rejected_saturated
+     << "\n"
+     << "dchag_ingress_rejected_draining_total " << rejected_draining << "\n"
+     << "dchag_ingress_rejected_bad_total " << rejected_bad << "\n"
+     << "dchag_ingress_completed_total " << completed << "\n"
+     << "dchag_ingress_redispatches_total " << redispatches << "\n"
+     << "dchag_ingress_worker_restarts_total " << worker_restarts << "\n"
+     << "dchag_ingress_scale_ups_total " << scale_ups << "\n"
+     << "dchag_ingress_scale_downs_total " << scale_downs << "\n"
+     << "dchag_ingress_workers " << workers << "\n"
+     << "dchag_ingress_queue_depth " << queue_depth << "\n";
+  return os.str();
+}
+
+}  // namespace dchag::ingress

@@ -1,0 +1,76 @@
+// Ingress-tier counters, alongside (not replacing) serve::Metrics: the
+// Metrics instance owned by the dispatcher carries latency percentiles
+// and queue/recovery accounting; these counters carry the admission and
+// worker-lifecycle events unique to the process-pool front door.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+namespace dchag::ingress {
+
+class Counters {
+ public:
+  struct Snapshot {
+    std::uint64_t connections = 0;
+    std::uint64_t accepted = 0;            ///< admitted to the queue
+    std::uint64_t rejected_saturated = 0;  ///< typed reject: queue full
+    std::uint64_t rejected_draining = 0;   ///< typed reject: shutting down
+    std::uint64_t rejected_bad = 0;        ///< typed reject: malformed
+    std::uint64_t completed = 0;           ///< responses sent to clients
+    std::uint64_t redispatches = 0;  ///< in-flight work moved off a dead
+                                     ///< worker and re-queued
+    std::uint64_t worker_restarts = 0;  ///< crashed workers respawned
+    std::uint64_t scale_ups = 0;
+    std::uint64_t scale_downs = 0;
+    std::uint64_t workers = 0;      ///< current live pool size
+    std::uint64_t queue_depth = 0;  ///< admission queue, now
+
+    /// /metrics-style exposition lines ("dchag_ingress_<name> <value>").
+    [[nodiscard]] std::string to_exposition() const;
+  };
+
+  void connection() { ++connections_; }
+  void accept() { ++accepted_; }
+  void reject_saturated() { ++rejected_saturated_; }
+  void reject_draining() { ++rejected_draining_; }
+  void reject_bad() { ++rejected_bad_; }
+  void complete() { ++completed_; }
+  void redispatch(std::uint64_t n) { redispatches_ += n; }
+  void worker_restart() { ++worker_restarts_; }
+  void scale_up() { ++scale_ups_; }
+  void scale_down() { ++scale_downs_; }
+
+  [[nodiscard]] Snapshot snapshot(std::uint64_t workers,
+                                  std::uint64_t queue_depth) const {
+    Snapshot s;
+    s.connections = connections_.load();
+    s.accepted = accepted_.load();
+    s.rejected_saturated = rejected_saturated_.load();
+    s.rejected_draining = rejected_draining_.load();
+    s.rejected_bad = rejected_bad_.load();
+    s.completed = completed_.load();
+    s.redispatches = redispatches_.load();
+    s.worker_restarts = worker_restarts_.load();
+    s.scale_ups = scale_ups_.load();
+    s.scale_downs = scale_downs_.load();
+    s.workers = workers;
+    s.queue_depth = queue_depth;
+    return s;
+  }
+
+ private:
+  std::atomic<std::uint64_t> connections_{0};
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> rejected_saturated_{0};
+  std::atomic<std::uint64_t> rejected_draining_{0};
+  std::atomic<std::uint64_t> rejected_bad_{0};
+  std::atomic<std::uint64_t> completed_{0};
+  std::atomic<std::uint64_t> redispatches_{0};
+  std::atomic<std::uint64_t> worker_restarts_{0};
+  std::atomic<std::uint64_t> scale_ups_{0};
+  std::atomic<std::uint64_t> scale_downs_{0};
+};
+
+}  // namespace dchag::ingress

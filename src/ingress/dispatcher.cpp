@@ -1,0 +1,662 @@
+#include "ingress/dispatcher.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <spawn.h>
+#include <sys/socket.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <csignal>
+#include <cstring>
+
+#include "tensor/check.hpp"
+
+extern char** environ;
+
+namespace dchag::ingress {
+
+namespace {
+
+double ms_between(std::chrono::steady_clock::time_point a,
+                  std::chrono::steady_clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double now_ms() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string exe_dir() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  if (n <= 0) return {};
+  buf[n] = '\0';
+  std::string path(buf);
+  const std::size_t slash = path.rfind('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Construction / worker spawning
+// ---------------------------------------------------------------------------
+
+std::string Ingress::resolve_worker_exe() const {
+  std::vector<std::string> candidates;
+  if (!cfg_.worker_exe.empty()) candidates.push_back(cfg_.worker_exe);
+  if (const char* env = std::getenv(kEnvWorkerExe);
+      env != nullptr && env[0] != '\0')
+    candidates.emplace_back(env);
+  // Build-tree layout: tests live in build/tests/, examples in
+  // build/examples/, benches in build/bench/ — the worker binary is a
+  // sibling tree away at build/src/ingress/.
+  if (const std::string dir = exe_dir(); !dir.empty()) {
+    candidates.push_back(dir + "/dchag_ingress_worker");
+    candidates.push_back(dir + "/../src/ingress/dchag_ingress_worker");
+    candidates.push_back(dir + "/../../src/ingress/dchag_ingress_worker");
+  }
+  for (const std::string& c : candidates) {
+    if (::access(c.c_str(), X_OK) == 0) return c;
+  }
+  DCHAG_FAIL(
+      "cannot locate the dchag_ingress_worker binary; set "
+      "IngressConfig::worker_exe or $DCHAG_ING_WORKER");
+}
+
+std::unique_ptr<Ingress::Worker> Ingress::spawn_worker() {
+  auto w = std::make_unique<Worker>();
+  w->spawn_seq = next_spawn_seq_++;
+  const std::string ring_name = make_ring_name();
+  w->ring = std::make_unique<ShmRing>(ShmRing::create(ring_name, cfg_.ring));
+  w->last_beat_seen = std::chrono::steady_clock::now();
+
+  // Child environment: the parent's, minus every context/ingress variable
+  // we are about to restate, plus the dispatcher's effective context
+  // re-exported through Context::to_env() — the cross-process context
+  // hand-off — and the worker-protocol variables.
+  std::vector<std::string> env_store;
+  for (char** it = environ; it != nullptr && *it != nullptr; ++it) {
+    const std::string entry(*it);
+    const auto is = [&entry](const char* name) {
+      const std::size_t n = std::strlen(name);
+      return entry.compare(0, n, name) == 0 && entry.size() > n &&
+             entry[n] == '=';
+    };
+    if (is("DCHAG_KERNEL") || is("DCHAG_THREADS") || is("DCHAG_COMM") ||
+        is("DCHAG_COMM_CHUNKS") || is(kEnvCheckpoint) || is(kEnvModelSpec) ||
+        is(kEnvCrashAt))
+      continue;
+    env_store.push_back(entry);
+  }
+  for (const runtime::Context::EnvEntry& e : ctx_.to_env())
+    env_store.push_back(e.name + "=" + e.value);
+  env_store.push_back(std::string(kEnvCheckpoint) + "=" + cfg_.checkpoint);
+  env_store.push_back(std::string(kEnvModelSpec) + "=" +
+                      cfg_.model.serialize());
+  for (const CrashSpec& c : cfg_.crash_plan) {
+    if (c.spawn_seq == w->spawn_seq) {
+      env_store.push_back(std::string(kEnvCrashAt) + "=" +
+                          std::to_string(c.after_requests));
+      break;
+    }
+  }
+
+  std::vector<char*> envp;
+  envp.reserve(env_store.size() + 1);
+  for (std::string& s : env_store) envp.push_back(s.data());
+  envp.push_back(nullptr);
+
+  std::string exe = worker_exe_;
+  std::string arg_ring = ring_name;
+  char* argv[] = {exe.data(), arg_ring.data(), nullptr};
+
+  pid_t pid = -1;
+  const int rc =
+      ::posix_spawn(&pid, exe.c_str(), nullptr, nullptr, argv, envp.data());
+  if (rc != 0) {
+    w->ring->unlink();
+    DCHAG_FAIL("posix_spawn(" << exe << ") failed: " << std::strerror(rc));
+  }
+  w->pid = pid;
+  return w;
+}
+
+Ingress::Ingress(IngressConfig cfg, const runtime::Context& ctx)
+    : cfg_(std::move(cfg)), ctx_(ctx.effective()) {
+  DCHAG_CHECK(cfg_.min_workers >= 1 && cfg_.max_workers >= cfg_.min_workers,
+              "Ingress needs 1 <= min_workers <= max_workers");
+  DCHAG_CHECK(cfg_.queue_capacity >= 1, "Ingress needs queue_capacity >= 1");
+  worker_exe_ = resolve_worker_exe();
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  DCHAG_CHECK(listen_fd_ >= 0, "socket() failed: " << std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(cfg_.port);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(listen_fd_);
+    DCHAG_FAIL("bind(127.0.0.1:" << cfg_.port
+                                 << ") failed: " << std::strerror(err));
+  }
+  DCHAG_CHECK(::listen(listen_fd_, 128) == 0,
+              "listen() failed: " << std::strerror(errno));
+  socklen_t len = sizeof(addr);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+  port_ = ntohs(addr.sin_port);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (int i = 0; i < cfg_.min_workers; ++i)
+      workers_.push_back(spawn_worker());
+    last_busy_ = std::chrono::steady_clock::now();
+  }
+
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  monitor_thread_ = std::thread([this] { monitor_loop(); });
+}
+
+Ingress::~Ingress() { drain(); }
+
+// ---------------------------------------------------------------------------
+// Introspection
+// ---------------------------------------------------------------------------
+
+std::size_t Ingress::worker_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::size_t n = 0;
+  for (const auto& w : workers_)
+    if (!w->retiring) ++n;
+  return n;
+}
+
+std::size_t Ingress::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+Counters::Snapshot Ingress::counters() const {
+  std::size_t workers = 0, depth = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (const auto& w : workers_)
+      if (!w->retiring) ++workers;
+    depth = queue_.size();
+  }
+  return counters_.snapshot(workers, depth);
+}
+
+std::string Ingress::metrics_text() const {
+  return metrics_.summary().to_exposition() + counters().to_exposition();
+}
+
+// ---------------------------------------------------------------------------
+// Listener + connections
+// ---------------------------------------------------------------------------
+
+void Ingress::accept_loop() {
+  for (;;) {
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      return;  // listener closed by drain()
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    counters_.connection();
+    auto conn = std::make_shared<Conn>();
+    conn->fd = fd;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      conns_.push_back(conn);
+    }
+    std::lock_guard<std::mutex> lock(conn_threads_mu_);
+    conn_threads_.emplace_back(
+        [this, conn] { connection_loop(std::move(conn)); });
+  }
+}
+
+void Ingress::send_error(const std::shared_ptr<Conn>& conn, std::uint64_t id,
+                         ErrorCode code, const std::string& message) {
+  const std::vector<std::uint8_t> payload =
+      encode_error(WireError{id, code, message});
+  std::lock_guard<std::mutex> lock(conn->write_mu);
+  if (conn->fd >= 0) write_frame(conn->fd, MsgType::kError, payload);
+}
+
+void Ingress::handle_infer(const std::shared_ptr<Conn>& conn,
+                           const Frame& frame) {
+  InferRequest req;
+  try {
+    req = decode_infer(frame.payload.data(), frame.payload.size());
+  } catch (const IngressError& e) {
+    counters_.reject_bad();
+    send_error(conn, 0, e.code(), e.what());
+    return;
+  }
+  if (static_cast<std::uint64_t>(req.images.numel()) >
+      cfg_.ring.max_payload_floats) {
+    counters_.reject_bad();
+    send_error(conn, req.id, ErrorCode::kBadRequest,
+               "sample exceeds the ring payload budget");
+    return;
+  }
+
+  Job job;
+  job.client_id = req.id;
+  job.conn = conn;
+  job.hdr.lead_time = req.lead_time;
+  job.hdr.n_channels = static_cast<std::uint32_t>(req.channels.size());
+  for (std::size_t i = 0; i < req.channels.size(); ++i)
+    job.hdr.channels[i] = req.channels[i];
+  job.hdr.c = req.images.dim(0);
+  job.hdr.h = req.images.dim(1);
+  job.hdr.w = req.images.dim(2);
+  job.payload.assign(req.images.data(),
+                     req.images.data() + req.images.numel());
+  job.accepted = std::chrono::steady_clock::now();
+
+  // Admission control: typed rejects, never silent drops and never an
+  // unbounded queue. Once a request is admitted here it WILL be answered
+  // (redispatch survives worker crashes; drain finishes the queue).
+  ErrorCode reject;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (draining_) {
+      counters_.reject_draining();
+      reject = ErrorCode::kShuttingDown;
+    } else if (queue_.size() >= cfg_.queue_capacity) {
+      counters_.reject_saturated();
+      reject = ErrorCode::kSaturated;
+    } else {
+      job.ingress_id = next_ingress_id_++;
+      job.hdr.id = job.ingress_id;
+      queue_.push_back(std::move(job));
+      counters_.accept();
+      metrics_.observe_queue_depth(queue_.size());
+      metrics_.mark_window(now_ms());
+      work_cv_.notify_all();
+      return;
+    }
+  }
+  send_error(conn, req.id, reject,
+             reject == ErrorCode::kShuttingDown
+                 ? "ingress is draining"
+                 : "admission queue is full, retry later");
+}
+
+void Ingress::connection_loop(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    std::optional<Frame> frame;
+    try {
+      frame = read_frame(conn->fd);
+    } catch (const IngressError& e) {
+      // Framing violations desynchronize the stream; answer and hang up.
+      counters_.reject_bad();
+      send_error(conn, 0, e.code(), e.what());
+      break;
+    }
+    if (!frame) break;  // EOF
+    switch (frame->type) {
+      case MsgType::kInfer:
+        handle_infer(conn, *frame);
+        break;
+      case MsgType::kMetricsQuery: {
+        const std::string text = metrics_text();
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        if (conn->fd >= 0)
+          write_frame(conn->fd, MsgType::kMetricsText,
+                      reinterpret_cast<const std::uint8_t*>(text.data()),
+                      text.size());
+        break;
+      }
+      case MsgType::kHealthQuery: {
+        static constexpr char kOk[] = "ok";
+        std::lock_guard<std::mutex> lock(conn->write_mu);
+        if (conn->fd >= 0)
+          write_frame(conn->fd, MsgType::kHealthOk,
+                      reinterpret_cast<const std::uint8_t*>(kOk), 2);
+        break;
+      }
+      default:
+        counters_.reject_bad();
+        send_error(conn, 0, ErrorCode::kBadRequest,
+                   "unexpected frame type from client");
+        break;
+    }
+  }
+  // Leave fd open for in-flight responses of this connection; drain()
+  // closes every conn once all accepted work is answered.
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch
+// ---------------------------------------------------------------------------
+
+void Ingress::dispatch_loop() {
+  struct Done {
+    Job job;
+    RingResponse hdr;
+    std::vector<float> payload;
+    std::string error;
+  };
+  for (;;) {
+    std::vector<Done> done;
+    bool idle_now = false;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopped_) return;
+
+      // 1. Collect finished work from every worker's response ring.
+      for (auto& w : workers_) {
+        RingResponse resp;
+        std::vector<float> payload;
+        std::string error;
+        while (w->ring->try_pop_response(&resp, &payload, &error)) {
+          auto it = w->in_flight.find(resp.id);
+          if (it == w->in_flight.end()) continue;  // stale after redispatch
+          done.push_back(Done{std::move(it->second), resp,
+                              std::move(payload), std::move(error)});
+          w->in_flight.erase(it);
+          payload.clear();
+          error.clear();
+        }
+      }
+
+      // 2. Round-robin the admission queue onto workers with ring space.
+      while (!queue_.empty() && !workers_.empty()) {
+        bool placed = false;
+        const std::size_t n = workers_.size();
+        for (std::size_t probe = 0; probe < n; ++probe) {
+          Worker& w = *workers_[(rr_cursor_ + probe) % n];
+          if (w.retiring || w.pid < 0) continue;
+          if (w.in_flight.size() >= w.ring->slots()) continue;
+          Job& job = queue_.front();
+          if (!w.ring->try_push_request(job.hdr, job.payload.data(),
+                                        job.payload.size()))
+            continue;
+          job.dispatched = std::chrono::steady_clock::now();
+          w.in_flight.emplace(job.ingress_id, std::move(job));
+          queue_.pop_front();
+          rr_cursor_ = static_cast<int>((rr_cursor_ + probe + 1) % n);
+          placed = true;
+          break;
+        }
+        if (!placed) break;  // every worker full — backpressure holds
+      }
+
+      undelivered_ += done.size();
+      std::size_t inflight = 0;
+      for (const auto& w : workers_) inflight += w->in_flight.size();
+      idle_now = queue_.empty() && inflight == 0 && undelivered_ == 0;
+
+      if (done.empty()) {
+        // Response rings have no doorbell (cross-process), so poll:
+        // tightly while work is in flight, lazily when idle.
+        work_cv_.wait_for(lock, inflight > 0
+                                    ? std::chrono::microseconds(100)
+                                    : std::chrono::milliseconds(2));
+      }
+    }
+    if (idle_now) drain_cv_.notify_all();
+
+    // 3. Deliver outside the lock: socket writes must not stall dispatch.
+    for (Done& d : done) {
+      const auto now = std::chrono::steady_clock::now();
+      const double total = ms_between(d.job.accepted, now);
+      const double queued = ms_between(d.job.accepted, d.job.dispatched);
+      if (d.hdr.status == 0) {
+        InferResult result;
+        result.id = d.job.client_id;
+        result.pred = Tensor::from_data(
+            tensor::Shape{d.hdr.s, d.hdr.d}, std::move(d.payload));
+        const std::vector<std::uint8_t> bytes = encode_result(result);
+        std::lock_guard<std::mutex> lock(d.job.conn->write_mu);
+        if (d.job.conn->fd >= 0)
+          write_frame(d.job.conn->fd, MsgType::kResult, bytes);
+      } else {
+        send_error(d.job.conn, d.job.client_id,
+                   static_cast<ErrorCode>(d.hdr.status), d.error);
+      }
+      metrics_.record_request(total, queued);
+      metrics_.record_batch(1, total - queued);
+      metrics_.mark_window(now_ms());
+      counters_.complete();
+    }
+    if (!done.empty()) {
+      std::lock_guard<std::mutex> lock(mu_);
+      undelivered_ -= done.size();
+      if (undelivered_ == 0) drain_cv_.notify_all();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Health, elasticity, failover
+// ---------------------------------------------------------------------------
+
+void Ingress::fail_over(std::unique_ptr<Worker> dead, bool count_restart) {
+  // Deliver anything the worker answered before dying, then requeue the
+  // rest at the FRONT (their latency budget is already spent).
+  RingResponse resp;
+  std::vector<float> payload;
+  std::string error;
+  while (dead->ring->try_pop_response(&resp, &payload, &error)) {
+    auto it = dead->in_flight.find(resp.id);
+    if (it == dead->in_flight.end()) continue;
+    // Deliver inline: this is the rare path (worker death), contention
+    // with the dispatch thread is irrelevant.
+    Job& job = it->second;
+    if (resp.status == 0) {
+      InferResult result;
+      result.id = job.client_id;
+      result.pred =
+          Tensor::from_data(tensor::Shape{resp.s, resp.d}, payload);
+      const std::vector<std::uint8_t> bytes = encode_result(result);
+      std::lock_guard<std::mutex> wlock(job.conn->write_mu);
+      if (job.conn->fd >= 0)
+        write_frame(job.conn->fd, MsgType::kResult, bytes);
+    } else {
+      send_error(job.conn, job.client_id,
+                 static_cast<ErrorCode>(resp.status), error);
+    }
+    metrics_.record_request(
+        ms_between(job.accepted, std::chrono::steady_clock::now()), 0.0);
+    counters_.complete();
+    dead->in_flight.erase(it);
+  }
+
+  std::vector<Job> orphans;
+  orphans.reserve(dead->in_flight.size());
+  for (auto& [id, job] : dead->in_flight) orphans.push_back(std::move(job));
+  std::sort(orphans.begin(), orphans.end(),
+            [](const Job& a, const Job& b) {
+              return a.ingress_id > b.ingress_id;
+            });
+  for (Job& job : orphans) queue_.push_front(std::move(job));
+  if (!orphans.empty()) {
+    counters_.redispatch(orphans.size());
+    work_cv_.notify_all();
+  }
+  if (count_restart) counters_.worker_restart();
+  dead->ring->unlink();
+}
+
+void Ingress::monitor_loop() {
+  int target = cfg_.min_workers;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      if (stopped_) return;
+      const auto now = std::chrono::steady_clock::now();
+
+      // Reap exits and detect hangs.
+      for (std::size_t i = 0; i < workers_.size();) {
+        Worker& w = *workers_[i];
+        int status = 0;
+        const pid_t rc = ::waitpid(w.pid, &status, WNOHANG);
+        bool dead = rc == w.pid;
+        if (!dead && w.ring->state() == WorkerState::kReady &&
+            !w.in_flight.empty()) {
+          const std::uint64_t hb = w.ring->heartbeat();
+          if (hb != w.last_heartbeat) {
+            w.last_heartbeat = hb;
+            w.last_beat_seen = now;
+          } else if (now - w.last_beat_seen > cfg_.heartbeat_timeout) {
+            // Liveness word stalled with work in flight: hung, not dead.
+            ::kill(w.pid, SIGKILL);
+            ::waitpid(w.pid, &status, 0);
+            dead = true;
+          }
+        }
+        if (dead) {
+          std::unique_ptr<Worker> gone = std::move(workers_[i]);
+          workers_.erase(workers_.begin() + static_cast<std::ptrdiff_t>(i));
+          const bool crashed = !gone->retiring;
+          const auto t0 = std::chrono::steady_clock::now();
+          fail_over(std::move(gone), /*count_restart=*/crashed);
+          if (crashed) {
+            metrics_.record_recovery(
+                ms_between(t0, std::chrono::steady_clock::now()));
+          }
+        } else {
+          ++i;
+        }
+      }
+
+      // Elastic pool sizing from queue pressure.
+      std::size_t inflight = 0;
+      for (const auto& w : workers_) inflight += w->in_flight.size();
+      const bool busy = !queue_.empty() || inflight > 0;
+      if (busy) last_busy_ = now;
+      if (!draining_) {
+        if (queue_.size() >= cfg_.scale_up_depth &&
+            target < cfg_.max_workers) {
+          ++target;
+          counters_.scale_up();
+        } else if (!busy && target > cfg_.min_workers &&
+                   now - last_busy_ > cfg_.scale_down_idle) {
+          --target;
+          counters_.scale_down();
+          // Retire the newest non-retiring worker via its control word;
+          // it exits cleanly and the reap above forgets it.
+          for (auto it = workers_.rbegin(); it != workers_.rend(); ++it) {
+            if (!(*it)->retiring) {
+              (*it)->retiring = true;
+              (*it)->ring->set_control(ControlWord::kDrainStop);
+              break;
+            }
+          }
+          last_busy_ = now;  // rate-limit consecutive retirements
+        }
+      }
+
+      // Heal the pool back to target (also mid-drain: accepted work must
+      // still finish even when its worker died during shutdown).
+      std::size_t live = 0;
+      for (const auto& w : workers_)
+        if (!w->retiring) ++live;
+      const bool need_workers = !draining_ || busy;
+      while (need_workers && live < static_cast<std::size_t>(target)) {
+        workers_.push_back(spawn_worker());
+        ++live;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown
+// ---------------------------------------------------------------------------
+
+void Ingress::drain() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    draining_ = true;
+  }
+  // Stop accepting connections; in-flight and queued work keeps going.
+  if (listen_fd_ >= 0) {
+    ::shutdown(listen_fd_, SHUT_RDWR);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Every ACCEPTED request must be answered before teardown.
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    drain_cv_.wait(lock, [this] {
+      std::size_t inflight = 0;
+      for (const auto& w : workers_) inflight += w->in_flight.size();
+      if (queue_.empty() && inflight == 0 && undelivered_ == 0) return true;
+      work_cv_.notify_all();
+      return false;
+    });
+    stopped_ = true;
+    work_cv_.notify_all();
+  }
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  if (monitor_thread_.joinable()) monitor_thread_.join();
+
+  // Stop workers through their control word; escalate only if one
+  // ignores it past a generous deadline.
+  std::vector<std::unique_ptr<Worker>> workers;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    workers.swap(workers_);
+  }
+  for (auto& w : workers) w->ring->set_control(ControlWord::kDrainStop);
+  for (auto& w : workers) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(10);
+    int status = 0;
+    for (;;) {
+      const pid_t rc = ::waitpid(w->pid, &status, WNOHANG);
+      if (rc == w->pid || rc < 0) break;
+      if (std::chrono::steady_clock::now() > deadline) {
+        ::kill(w->pid, SIGKILL);
+        ::waitpid(w->pid, &status, 0);
+        break;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    w->ring->unlink();
+  }
+
+  // Hang up on every client; connection threads unblock from recv.
+  std::vector<std::shared_ptr<Conn>> conns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    conns.swap(conns_);
+  }
+  for (auto& c : conns) {
+    std::lock_guard<std::mutex> lock(c->write_mu);
+    if (c->fd >= 0) {
+      ::shutdown(c->fd, SHUT_RDWR);
+      ::close(c->fd);
+      c->fd = -1;
+    }
+  }
+  std::vector<std::thread> conn_threads;
+  {
+    std::lock_guard<std::mutex> lock(conn_threads_mu_);
+    conn_threads.swap(conn_threads_);
+  }
+  for (std::thread& t : conn_threads) t.join();
+  metrics_.mark_window(now_ms());
+}
+
+}  // namespace dchag::ingress

@@ -1,0 +1,56 @@
+// The worker-process side of the ingress tier. Each worker is a separate
+// OS process (spawned by the dispatcher, see dispatcher.hpp) that:
+//
+//   1. builds its runtime::Context from the environment — the dispatcher
+//      re-exports its own effective context as DCHAG_* variables, so
+//      Context::from_env() IS the context hand-off across the process
+//      boundary,
+//   2. reconstructs the model from a ModelSpec + checkpoint cold start
+//      (the PR 2 serving path), wraps it in a serve::Engine,
+//   3. serves its shared-memory request ring until told to drain.
+//
+// A crash anywhere in the forward kills only this process; the dispatcher
+// detects it through waitpid/heartbeat and re-dispatches the in-flight
+// requests to surviving workers.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "model/foundation.hpp"
+
+namespace dchag::ingress {
+
+/// Environment variables of the worker protocol. All live under the
+/// DCHAG_ING_ prefix, which Context::from_env treats as a known-namespace
+/// pass-through (not an "unknown variable" diagnostic).
+inline constexpr const char* kEnvWorkerExe = "DCHAG_ING_WORKER";
+inline constexpr const char* kEnvCheckpoint = "DCHAG_ING_CKPT";
+inline constexpr const char* kEnvModelSpec = "DCHAG_ING_MODEL";
+inline constexpr const char* kEnvCrashAt = "DCHAG_ING_CRASH_AT";
+
+/// Compact description of the architecture a worker must rebuild before
+/// loading the checkpoint (weights come from the checkpoint; the spec
+/// only pins the geometry). Serialized as "preset:channels:units".
+struct ModelSpec {
+  std::string preset = "tiny";  ///< ModelConfig::tiny() or preset(name)
+  tensor::Index channels = 6;
+  tensor::Index units = 2;  ///< first-level aggregation units (TreeN)
+
+  [[nodiscard]] std::string serialize() const;
+  [[nodiscard]] static ModelSpec parse(const std::string& text);
+};
+
+/// Builds a freshly initialised model of the spec'd architecture. The
+/// seed only shapes throwaway init values — load_module overwrites every
+/// parameter — but is a parameter so tests can build reference models.
+[[nodiscard]] std::unique_ptr<model::ForecastModel> build_model(
+    const ModelSpec& spec, std::uint64_t seed = 1);
+
+/// Entry point of the dchag_ingress_worker binary: argv[1] is the shm
+/// ring name; everything else arrives via DCHAG_ING_* / DCHAG_* env.
+/// Returns the process exit code.
+int worker_main(int argc, char** argv);
+
+}  // namespace dchag::ingress

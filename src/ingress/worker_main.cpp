@@ -1,0 +1,7 @@
+// Thin executable wrapper; all logic lives in the library so tests can
+// exercise worker behaviour in-process where that is enough.
+#include "ingress/worker.hpp"
+
+int main(int argc, char** argv) {
+  return dchag::ingress::worker_main(argc, argv);
+}

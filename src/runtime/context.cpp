@@ -200,11 +200,16 @@ Context Context::from_env(const std::vector<EnvEntry>& env,
         local.issues.push_back("DCHAG_COMM_CHUNKS='" + e.value +
                                "' (want an integer in [1, 4096])");
       }
+    } else if (e.name.rfind("DCHAG_ING_", 0) == 0) {
+      // The ingress tier's worker-protocol namespace (checkpoint path,
+      // model spec, crash injection, worker binary). Owned by
+      // src/ingress, not the context — pass through without diagnostics.
+      continue;
     } else {
       local.issues.push_back(
           "unknown variable " + e.name +
           " (known: DCHAG_KERNEL, DCHAG_THREADS, DCHAG_COMM, "
-          "DCHAG_COMM_CHUNKS)");
+          "DCHAG_COMM_CHUNKS; DCHAG_ING_* is the ingress namespace)");
     }
   }
   // Async without pipelining cannot overlap anything; default it to a
@@ -224,6 +229,20 @@ Context Context::from_env(const std::vector<EnvEntry>& env,
     });
   }
   return ContextBuilder().kernels(kernels).comm(comm).build();
+}
+
+std::vector<Context::EnvEntry> Context::to_env() const {
+  // The exact inverse of from_env() for the fields it reads: exporting
+  // these entries into a child's environment makes from_env() there
+  // reconstruct this context's kernel/comm configuration. Process-local
+  // fields (fault plan, trace sink, pool pointer) cannot cross an exec
+  // boundary and are deliberately absent.
+  return {
+      EnvEntry{"DCHAG_KERNEL", to_string(kernels_.backend)},
+      EnvEntry{"DCHAG_THREADS", std::to_string(kernels_.threads)},
+      EnvEntry{"DCHAG_COMM", to_string(comm_.mode)},
+      EnvEntry{"DCHAG_COMM_CHUNKS", std::to_string(comm_.pipeline_chunks)},
+  };
 }
 
 Context Context::from_env(EnvReport* report) {

@@ -174,6 +174,13 @@ class Context {
   [[nodiscard]] static Context from_env(const std::vector<EnvEntry>& env,
                                         EnvReport* report);
 
+  /// Inverse of from_env() for the env-expressible fields (kernel
+  /// backend, threads, comm mode, pipeline chunks): entries a parent
+  /// exports into a child process so the child's from_env()
+  /// reconstructs this context. Process-local fields (fault plan, trace
+  /// sink, thread pool) do not survive exec and are not exported.
+  [[nodiscard]] std::vector<EnvEntry> to_env() const;
+
   /// Fluent copy-and-modify: Context::current().to_builder().comm_mode(...)
   [[nodiscard]] ContextBuilder to_builder() const;
 

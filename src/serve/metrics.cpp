@@ -17,4 +17,23 @@ std::string Metrics::Snapshot::to_string() const {
   return os.str();
 }
 
+std::string Metrics::Snapshot::to_exposition() const {
+  std::ostringstream os;
+  os << "dchag_serve_requests_total " << requests << "\n"
+     << "dchag_serve_batches_total " << batches << "\n"
+     << "dchag_serve_failed_total " << failed << "\n"
+     << "dchag_serve_latency_ms{quantile=\"0.5\"} " << p50_ms << "\n"
+     << "dchag_serve_latency_ms{quantile=\"0.95\"} " << p95_ms << "\n"
+     << "dchag_serve_latency_ms{quantile=\"0.99\"} " << p99_ms << "\n"
+     << "dchag_serve_mean_queue_ms " << mean_queue_ms << "\n"
+     << "dchag_serve_mean_forward_ms " << mean_forward_ms << "\n"
+     << "dchag_serve_requests_per_second " << requests_per_s << "\n"
+     << "dchag_serve_max_queue_depth " << max_queue_depth << "\n"
+     << "dchag_serve_recoveries_total " << recoveries << "\n"
+     << "dchag_serve_mean_recovery_ms " << mean_recovery_ms << "\n"
+     << "dchag_serve_hedged_dispatches_total " << hedged_dispatches << "\n"
+     << "dchag_serve_degraded_responses_total " << degraded_responses << "\n";
+  return os.str();
+}
+
 }  // namespace dchag::serve

@@ -36,6 +36,10 @@ class Metrics {
                                            ///< survivor channel subset
 
     [[nodiscard]] std::string to_string() const;
+    /// /metrics-style exposition lines ("dchag_serve_<name> <value>",
+    /// percentiles as quantile-labelled gauges) — what the ingress tier
+    /// serves for kMetricsQuery.
+    [[nodiscard]] std::string to_exposition() const;
   };
 
   void record_request(double total_ms, double queue_ms) {

@@ -1,0 +1,203 @@
+// Shared-memory ring pair: create/open geometry validation, SPSC
+// request/response flow, full/empty edges, liveness words, and a
+// cross-thread producer/consumer stress run (threads stand in for the
+// worker process; the memory-ordering contract is identical).
+#include "ingress/shm_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace dchag::ingress {
+namespace {
+
+RingConfig small_ring() {
+  RingConfig cfg;
+  cfg.slots = 2;
+  cfg.max_payload_floats = 64;
+  return cfg;
+}
+
+TEST(ShmRing, CreateOpenRoundTrip) {
+  const std::string name = make_ring_name();
+  ShmRing creator = ShmRing::create(name, small_ring());
+  ShmRing opener = ShmRing::open(name);
+  EXPECT_EQ(opener.slots(), 2u);
+  EXPECT_EQ(opener.max_payload_floats(), 64u);
+  EXPECT_EQ(opener.state(), WorkerState::kStarting);
+  EXPECT_EQ(opener.control(), ControlWord::kRun);
+  creator.unlink();
+  // The name is gone, but live mappings stay usable.
+  EXPECT_THROW((void)ShmRing::open(name), std::exception);
+  EXPECT_TRUE(creator.quiescent());
+}
+
+TEST(ShmRing, StaleSegmentNameIsAnError) {
+  const std::string name = make_ring_name();
+  ShmRing first = ShmRing::create(name, small_ring());
+  // O_EXCL: a second create on the same name must fail loudly instead of
+  // silently adopting a stale segment.
+  EXPECT_THROW((void)ShmRing::create(name, small_ring()), std::exception);
+  first.unlink();
+}
+
+TEST(ShmRing, RequestFlowAndFullEmptyEdges) {
+  const std::string name = make_ring_name();
+  ShmRing disp = ShmRing::create(name, small_ring());
+  ShmRing work = ShmRing::open(name);
+
+  RingRequest req;
+  req.lead_time = 1.5f;
+  req.n_channels = 2;
+  req.channels[0] = 0;
+  req.channels[1] = 3;
+  req.c = 1;
+  req.h = 2;
+  req.w = 2;
+  const float payload[4] = {1.0f, 2.0f, 3.0f, 4.0f};
+
+  req.id = 1;
+  EXPECT_TRUE(disp.try_push_request(req, payload, 4));
+  req.id = 2;
+  EXPECT_TRUE(disp.try_push_request(req, payload, 4));
+  req.id = 3;
+  EXPECT_FALSE(disp.try_push_request(req, payload, 4));  // full at 2 slots
+  EXPECT_EQ(disp.request_backlog(), 2u);
+  EXPECT_FALSE(disp.quiescent());
+
+  RingRequest got;
+  std::vector<float> got_payload;
+  ASSERT_TRUE(work.try_pop_request(&got, &got_payload));
+  EXPECT_EQ(got.id, 1u);
+  EXPECT_FLOAT_EQ(got.lead_time, 1.5f);
+  EXPECT_EQ(got.n_channels, 2u);
+  EXPECT_EQ(got.channels[1], 3);
+  ASSERT_EQ(got_payload.size(), 4u);
+  EXPECT_EQ(got_payload[3], 4.0f);
+
+  // A consumed slot frees capacity for the next push.
+  req.id = 3;
+  EXPECT_TRUE(disp.try_push_request(req, payload, 4));
+  ASSERT_TRUE(work.try_pop_request(&got, &got_payload));
+  EXPECT_EQ(got.id, 2u);
+  ASSERT_TRUE(work.try_pop_request(&got, &got_payload));
+  EXPECT_EQ(got.id, 3u);
+  EXPECT_FALSE(work.try_pop_request(&got, &got_payload));  // empty
+
+  disp.unlink();
+}
+
+TEST(ShmRing, ResponseFlowCarriesResultsAndErrors) {
+  const std::string name = make_ring_name();
+  ShmRing disp = ShmRing::create(name, small_ring());
+  ShmRing work = ShmRing::open(name);
+
+  RingResponse ok;
+  ok.id = 10;
+  ok.status = 0;
+  ok.s = 2;
+  ok.d = 3;
+  const float pred[6] = {1, 2, 3, 4, 5, 6};
+  EXPECT_TRUE(work.try_push_response(ok, pred, nullptr));
+
+  RingResponse bad;
+  bad.id = 11;
+  bad.status = static_cast<std::uint32_t>(ErrorCode::kInternal);
+  const std::string msg = "boom";
+  bad.error_bytes = static_cast<std::uint32_t>(msg.size());
+  EXPECT_TRUE(work.try_push_response(bad, nullptr, msg.data()));
+
+  RingResponse got;
+  std::vector<float> payload;
+  std::string error;
+  ASSERT_TRUE(disp.try_pop_response(&got, &payload, &error));
+  EXPECT_EQ(got.id, 10u);
+  EXPECT_EQ(got.status, 0u);
+  ASSERT_EQ(payload.size(), 6u);
+  EXPECT_EQ(payload[5], 6.0f);
+
+  ASSERT_TRUE(disp.try_pop_response(&got, &payload, &error));
+  EXPECT_EQ(got.id, 11u);
+  EXPECT_EQ(got.status, static_cast<std::uint32_t>(ErrorCode::kInternal));
+  EXPECT_EQ(error, "boom");
+  EXPECT_FALSE(disp.try_pop_response(&got, &payload, &error));
+
+  disp.unlink();
+}
+
+TEST(ShmRing, LivenessWords) {
+  const std::string name = make_ring_name();
+  ShmRing disp = ShmRing::create(name, small_ring());
+  ShmRing work = ShmRing::open(name);
+
+  EXPECT_EQ(disp.heartbeat(), 0u);
+  work.beat();
+  work.beat();
+  EXPECT_EQ(disp.heartbeat(), 2u);
+
+  work.set_state(WorkerState::kReady);
+  EXPECT_EQ(disp.state(), WorkerState::kReady);
+  disp.set_control(ControlWord::kDrainStop);
+  EXPECT_EQ(work.control(), ControlWord::kDrainStop);
+
+  disp.unlink();
+}
+
+TEST(ShmRing, CrossThreadSpscStress) {
+  const std::string name = make_ring_name();
+  ShmRing disp = ShmRing::create(name, small_ring());
+  ShmRing work = ShmRing::open(name);
+  constexpr std::uint64_t kN = 5000;
+
+  // "Worker": echo each request id back, payload sum as a 1x1 result.
+  std::thread worker([&] {
+    RingRequest req;
+    std::vector<float> payload;
+    std::uint64_t served = 0;
+    while (served < kN) {
+      if (!work.try_pop_request(&req, &payload)) {
+        std::this_thread::yield();
+        continue;
+      }
+      float sum = 0.0f;
+      for (const float v : payload) sum += v;
+      RingResponse resp;
+      resp.id = req.id;
+      resp.s = 1;
+      resp.d = 1;
+      while (!work.try_push_response(resp, &sum, nullptr))
+        std::this_thread::yield();
+      ++served;
+    }
+  });
+
+  RingRequest req;
+  req.c = 1;
+  req.h = 1;
+  req.w = 4;
+  std::uint64_t pushed = 0, popped = 0;
+  RingResponse resp;
+  std::vector<float> payload;
+  std::string error;
+  while (popped < kN) {
+    if (pushed < kN) {
+      const float base = static_cast<float>(pushed);
+      const float data[4] = {base, base + 1, base + 2, base + 3};
+      req.id = pushed + 1;
+      if (disp.try_push_request(req, data, 4)) ++pushed;
+    }
+    while (disp.try_pop_response(&resp, &payload, &error)) {
+      ++popped;
+      EXPECT_EQ(resp.id, popped);  // SPSC preserves order
+      const float base = static_cast<float>(popped - 1);
+      ASSERT_EQ(payload.size(), 1u);
+      EXPECT_FLOAT_EQ(payload[0], 4 * base + 6);
+    }
+  }
+  worker.join();
+  EXPECT_TRUE(disp.quiescent());
+  disp.unlink();
+}
+
+}  // namespace
+}  // namespace dchag::ingress

@@ -1,0 +1,168 @@
+// Wire-protocol codec: roundtrips for every payload type, bounds-checked
+// rejection of malformed/truncated/oversized frames, and framed socket
+// I/O over a socketpair.
+#include "ingress/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "tensor/rng.hpp"
+#include "tensor/tensor.hpp"
+
+namespace dchag::ingress {
+namespace {
+
+using tensor::Rng;
+using tensor::Shape;
+
+TEST(Wire, InferRoundTrip) {
+  Rng rng(7);
+  InferRequest req;
+  req.id = 0x1122334455667788ull;
+  req.lead_time = 2.5f;
+  req.channels = {0, 2, 5};
+  req.images = rng.normal_tensor(Shape{3, 4, 4});
+
+  const std::vector<std::uint8_t> bytes = encode_infer(req);
+  const InferRequest back = decode_infer(bytes.data(), bytes.size());
+  EXPECT_EQ(back.id, req.id);
+  EXPECT_FLOAT_EQ(back.lead_time, req.lead_time);
+  ASSERT_EQ(back.channels, req.channels);
+  ASSERT_EQ(back.images.shape(), req.images.shape());
+  for (Index i = 0; i < req.images.numel(); ++i)
+    EXPECT_EQ(back.images.data()[i], req.images.data()[i]);
+}
+
+TEST(Wire, InferEmptyChannelsMeansAll) {
+  Rng rng(8);
+  InferRequest req;
+  req.id = 1;
+  req.images = rng.normal_tensor(Shape{2, 4, 4});
+  const std::vector<std::uint8_t> bytes = encode_infer(req);
+  const InferRequest back = decode_infer(bytes.data(), bytes.size());
+  EXPECT_TRUE(back.channels.empty());
+}
+
+TEST(Wire, ResultRoundTrip) {
+  Rng rng(9);
+  InferResult res;
+  res.id = 42;
+  res.pred = rng.normal_tensor(Shape{5, 7});
+  const std::vector<std::uint8_t> bytes = encode_result(res);
+  const InferResult back = decode_result(bytes.data(), bytes.size());
+  EXPECT_EQ(back.id, res.id);
+  ASSERT_EQ(back.pred.shape(), res.pred.shape());
+  for (Index i = 0; i < res.pred.numel(); ++i)
+    EXPECT_EQ(back.pred.data()[i], res.pred.data()[i]);
+}
+
+TEST(Wire, ErrorRoundTrip) {
+  WireError err;
+  err.id = 99;
+  err.code = ErrorCode::kSaturated;
+  err.message = "queue full";
+  const std::vector<std::uint8_t> bytes = encode_error(err);
+  const WireError back = decode_error(bytes.data(), bytes.size());
+  EXPECT_EQ(back.id, err.id);
+  EXPECT_EQ(back.code, err.code);
+  EXPECT_EQ(back.message, err.message);
+}
+
+TEST(Wire, TruncatedPayloadsAreTypedRejects) {
+  Rng rng(10);
+  InferRequest req;
+  req.id = 3;
+  req.channels = {0, 1};
+  req.images = rng.normal_tensor(Shape{2, 4, 4});
+  std::vector<std::uint8_t> bytes = encode_infer(req);
+  // Every strict prefix must be rejected, never read out of bounds.
+  for (const std::size_t cut :
+       {std::size_t{0}, std::size_t{4}, std::size_t{11}, bytes.size() / 2,
+        bytes.size() - 1}) {
+    EXPECT_THROW(decode_infer(bytes.data(), cut), IngressError);
+  }
+  // A corrupted channel count that implies more bytes than exist.
+  std::vector<std::uint8_t> corrupt = bytes;
+  corrupt[12] = 0xff;
+  corrupt[13] = 0xff;
+  try {
+    (void)decode_infer(corrupt.data(), corrupt.size());
+    FAIL() << "oversized channel count must be rejected";
+  } catch (const IngressError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+}
+
+TEST(Wire, FrameRoundTripOverSocketpair) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+
+  Rng rng(11);
+  InferRequest req;
+  req.id = 77;
+  req.images = rng.normal_tensor(Shape{2, 4, 4});
+  const std::vector<std::uint8_t> payload = encode_infer(req);
+
+  std::thread writer([&] {
+    EXPECT_TRUE(write_frame(fds[0], MsgType::kInfer, payload));
+    // Zero-payload frames (the query messages) must also travel.
+    EXPECT_TRUE(write_frame(fds[0], MsgType::kHealthQuery, nullptr, 0));
+    ::close(fds[0]);
+  });
+
+  std::optional<Frame> f1 = read_frame(fds[1]);
+  ASSERT_TRUE(f1.has_value());
+  EXPECT_EQ(f1->type, MsgType::kInfer);
+  EXPECT_EQ(f1->payload, payload);
+
+  std::optional<Frame> f2 = read_frame(fds[1]);
+  ASSERT_TRUE(f2.has_value());
+  EXPECT_EQ(f2->type, MsgType::kHealthQuery);
+  EXPECT_TRUE(f2->payload.empty());
+
+  // Orderly EOF at a frame boundary is nullopt, not an error.
+  std::optional<Frame> f3 = read_frame(fds[1]);
+  EXPECT_FALSE(f3.has_value());
+
+  writer.join();
+  ::close(fds[1]);
+}
+
+TEST(Wire, MidFrameEofIsAProtocolError) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  // A length prefix promising 100 bytes, then hang up.
+  const std::uint8_t partial[] = {100, 0, 0, 0, 1, 'x'};
+  ASSERT_EQ(::send(fds[0], partial, sizeof(partial), 0),
+            static_cast<ssize_t>(sizeof(partial)));
+  ::close(fds[0]);
+  EXPECT_THROW((void)read_frame(fds[1]), IngressError);
+  ::close(fds[1]);
+}
+
+TEST(Wire, OversizedFramePrefixIsRejectedWithoutAllocating) {
+  int fds[2] = {-1, -1};
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  const std::uint32_t huge = kMaxFrameBytes + 1;
+  std::uint8_t prefix[5] = {};
+  std::memcpy(prefix, &huge, 4);
+  prefix[4] = 1;
+  ASSERT_EQ(::send(fds[0], prefix, sizeof(prefix), 0),
+            static_cast<ssize_t>(sizeof(prefix)));
+  try {
+    (void)read_frame(fds[1]);
+    FAIL() << "oversized frame must be rejected";
+  } catch (const IngressError& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kBadRequest);
+  }
+  ::close(fds[0]);
+  ::close(fds[1]);
+}
+
+}  // namespace
+}  // namespace dchag::ingress

@@ -126,6 +126,51 @@ TEST(ContextFromEnv, GarbageAndUnknownsAllLandInOneDiagnostic) {
   EXPECT_EQ(ctx.comm().pipeline_chunks, 1);
 }
 
+TEST(ContextFromEnv, IngressNamespacePassesThroughWithoutDiagnostics) {
+  // DCHAG_ING_* belongs to the ingress worker protocol (checkpoint path,
+  // model spec, crash injection); from_env must neither consume nor
+  // complain about it.
+  Context::EnvReport report;
+  const Context ctx = Context::from_env(
+      Env{{"DCHAG_ING_CKPT", "/tmp/ckpt.bin"},
+          {"DCHAG_ING_MODEL", "tiny:4:2"},
+          {"DCHAG_ING_CRASH_AT", "3"},
+          {"DCHAG_KERNEL", "blocked"}},
+      &report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(ctx.kernels().backend, KernelBackend::kBlocked);
+}
+
+TEST(ContextToEnv, RoundTripsThroughFromEnv) {
+  // to_env() is the cross-process hand-off: a child's from_env() on the
+  // exported entries must reconstruct the env-expressible fields exactly.
+  const Context original = ContextBuilder()
+                               .kernel_backend(KernelBackend::kBlocked)
+                               .threads(3)
+                               .comm_mode(CommMode::kAsync)
+                               .pipeline_chunks(6)
+                               .build();
+  Context::EnvReport report;
+  const Context back = Context::from_env(original.to_env(), &report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(back.kernels().backend, KernelBackend::kBlocked);
+  EXPECT_EQ(back.kernels().threads, 3);
+  EXPECT_EQ(back.comm().mode, CommMode::kAsync);
+  EXPECT_EQ(back.comm().pipeline_chunks, 6);
+}
+
+TEST(ContextToEnv, DefaultsRoundTripToo) {
+  // threads=0 ("whole pool") and pipeline_chunks=1 sit at parse-range
+  // edges; the inverse must express them in-range, not drop them.
+  Context::EnvReport report;
+  const Context back = Context::from_env(Context().to_env(), &report);
+  EXPECT_TRUE(report.ok()) << report.summary();
+  EXPECT_EQ(back.kernels().backend, KernelBackend::kParallel);
+  EXPECT_EQ(back.kernels().threads, 0);
+  EXPECT_EQ(back.comm().mode, CommMode::kSync);
+  EXPECT_EQ(back.comm().pipeline_chunks, 1);
+}
+
 TEST(ContextFromEnv, OutOfRangeIntegersRejected) {
   Context::EnvReport report;
   const Context ctx = Context::from_env(
