@@ -1,13 +1,23 @@
 // Serving throughput/latency bench: requests/s and tail latency of the
 // batched serving subsystem at max_batch 1 / 8 / 32, over a tiny
-// hierarchical-aggregation forecast model. Emits BENCH_serving.json
-// (same spirit as BENCH_baseline.json: a committed snapshot future PRs
-// can diff against) in the working directory.
+// hierarchical-aggregation forecast model — served PLANNED (frozen model,
+// pre-packed GEMM panels, fused epilogues, arena buffers) and UNPLANNED
+// (the plain tape-free forward), from identically-seeded models.
+//
+// Emits BENCH_serving.json: the human-readable "points" snapshot for both
+// engines, plus a Google-Benchmark-style "benchmarks" array that
+// scripts/bench_compare.py gates on in CI:
+//   BM_ServeForward/unplanned, BM_ServeForward/planned — direct forward
+//     latency (ms, batch 8), gated planned >= 1.2x faster;
+//   BM_ServeSteadyAllocs — heap buffer allocations per steady-state
+//     planned request (a count in real_time), gated <= 0.
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 
 #include "bench_util.hpp"
 #include "serve/server.hpp"
+#include "tensor/plan.hpp"
 
 using namespace dchag;
 
@@ -59,31 +69,21 @@ Row run_point(serve::Engine& engine, tensor::Index max_batch) {
   return {max_batch, server.metrics().summary()};
 }
 
-}  // namespace
+/// Direct forward latency (no batching noise): mean ms per engine.run on
+/// a fixed batch-8 full-channel request, after warm-up.
+double direct_forward_ms(serve::Engine& engine, const tensor::Tensor& images,
+                         int iters) {
+  tensor::Tensor out;
+  for (int i = 0; i < 3; ++i) out = engine.run(images, {}, 1.0f);
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int i = 0; i < iters; ++i) out = engine.run(images, {}, 1.0f);
+  const auto t1 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::milli>(t1 - t0).count() / iters;
+}
 
-int main() {
-  bench::header("serve_throughput",
-                "batched serving: requests/s and tail latency vs max_batch");
-  auto model = make_model();
-  serve::Engine engine(*model);
-
-  std::vector<Row> rows;
-  bench::section("throughput (tiny model, 2 workers, 192 live requests)");
-  std::printf("%10s %12s %10s %10s %10s %12s\n", "max_batch", "req/s",
-              "p50 ms", "p99 ms", "mean batch", "forward ms");
-  for (tensor::Index mb : {1, 8, 32}) {
-    rows.push_back(run_point(engine, mb));
-    const auto& m = rows.back().m;
-    std::printf("%10lld %12.1f %10.2f %10.2f %10.2f %12.3f\n",
-                static_cast<long long>(mb), m.requests_per_s, m.p50_ms,
-                m.p99_ms, m.mean_batch_size, m.mean_forward_ms);
-  }
-
-  std::ofstream json("BENCH_serving.json");
-  json << "{\n  \"bench\": \"serve_throughput\",\n"
-       << "  \"model\": \"tiny, 6 channels, Tree2 cross-attention\",\n"
-       << "  \"requests\": " << kRequests << ",\n  \"workers\": 2,\n"
-       << "  \"points\": [\n";
+void emit_points(std::ofstream& json, const char* key,
+                 const std::vector<Row>& rows) {
+  json << "  \"" << key << "\": [\n";
   for (std::size_t i = 0; i < rows.size(); ++i) {
     const auto& r = rows[i];
     json << "    {\"max_batch\": " << r.max_batch
@@ -91,24 +91,116 @@ int main() {
          << ", \"p50_ms\": " << r.m.p50_ms
          << ", \"p99_ms\": " << r.m.p99_ms
          << ", \"mean_batch_size\": " << r.m.mean_batch_size
-         << ", \"mean_forward_ms\": " << r.m.mean_forward_ms << "}"
+         << ", \"mean_forward_ms\": " << r.m.mean_forward_ms
+         << ", \"forward_allocations\": " << r.m.forward_allocations << "}"
          << (i + 1 < rows.size() ? "," : "") << "\n";
   }
-  json << "  ]\n}\n";
+  json << "  ],\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::header("serve_throughput",
+                "batched serving: planned vs unplanned forward");
+  auto planned_model = make_model();
+  auto unplanned_model = make_model();  // same seed: identical weights
+  serve::Engine planned(*planned_model);
+  serve::EngineOptions off;
+  off.plan = false;
+  serve::Engine unplanned(*unplanned_model, std::nullopt, off);
+
+  // Parity oracle: the planned forward must be bit-identical to the
+  // unplanned one before any throughput number means anything.
+  tensor::Tensor probe = tensor::Rng(99).normal_tensor(
+      {2, kChannels, 16, 16});
+  const float parity_diff = tensor::ops::max_abs_diff(
+      planned.run(probe, {}, 1.0f), unplanned.run(probe, {}, 1.0f));
+
+  tensor::Tensor batch8 =
+      tensor::Rng(7).normal_tensor({8, kChannels, 16, 16});
+  const double unplanned_ms = direct_forward_ms(unplanned, batch8, 30);
+  const double planned_ms = direct_forward_ms(planned, batch8, 30);
+
+  // Steady-state allocations per planned request (warmed by the latency
+  // loop above; this thread runs the forward, so the TLS counter is
+  // exact). Unplanned for contrast.
+  tensor::Tensor sink;
+  for (int i = 0; i < 2; ++i) sink = planned.run(batch8, {}, 1.0f);
+  const std::uint64_t a0 = tensor::plan::thread_buffer_allocations();
+  sink = planned.run(batch8, {}, 1.0f);
+  const std::uint64_t steady_allocs =
+      tensor::plan::thread_buffer_allocations() - a0;
+  const std::uint64_t u0 = tensor::plan::thread_buffer_allocations();
+  sink = unplanned.run(batch8, {}, 1.0f);
+  const std::uint64_t unplanned_allocs =
+      tensor::plan::thread_buffer_allocations() - u0;
+
+  bench::section("direct forward (batch 8, full channels)");
+  std::printf("%12s %12s %10s\n", "engine", "ms/fwd", "allocs");
+  std::printf("%12s %12.3f %10llu\n", "unplanned", unplanned_ms,
+              static_cast<unsigned long long>(unplanned_allocs));
+  std::printf("%12s %12.3f %10llu\n", "planned", planned_ms,
+              static_cast<unsigned long long>(steady_allocs));
+  std::printf("%12s %12.2fx\n", "speedup", unplanned_ms / planned_ms);
+
+  std::vector<Row> planned_rows;
+  std::vector<Row> unplanned_rows;
+  bench::section("throughput (tiny model, 2 workers, 192 live requests)");
+  std::printf("%10s %10s %12s %10s %10s %10s %12s\n", "engine", "max_batch",
+              "req/s", "p50 ms", "p99 ms", "mean batch", "forward ms");
+  for (tensor::Index mb : {1, 8, 32}) {
+    unplanned_rows.push_back(run_point(unplanned, mb));
+    planned_rows.push_back(run_point(planned, mb));
+    for (const auto* rows : {&unplanned_rows, &planned_rows}) {
+      const auto& r = rows->back();
+      std::printf("%10s %10lld %12.1f %10.2f %10.2f %10.2f %12.3f\n",
+                  rows == &planned_rows ? "planned" : "unplanned",
+                  static_cast<long long>(r.max_batch), r.m.requests_per_s,
+                  r.m.p50_ms, r.m.p99_ms, r.m.mean_batch_size,
+                  r.m.mean_forward_ms);
+    }
+  }
+
+  std::ofstream json("BENCH_serving.json");
+  json << "{\n  \"bench\": \"serve_throughput\",\n"
+       << "  \"model\": \"tiny, 6 channels, Tree2 cross-attention\",\n"
+       << "  \"requests\": " << kRequests << ",\n  \"workers\": 2,\n";
+  emit_points(json, "points", planned_rows);
+  emit_points(json, "unplanned_points", unplanned_rows);
+  json << "  \"benchmarks\": [\n"
+       << "    {\"name\": \"BM_ServeForward/unplanned\", \"run_type\": "
+          "\"iteration\", \"real_time\": "
+       << unplanned_ms << ", \"time_unit\": \"ms\"},\n"
+       << "    {\"name\": \"BM_ServeForward/planned\", \"run_type\": "
+          "\"iteration\", \"real_time\": "
+       << planned_ms << ", \"time_unit\": \"ms\"},\n"
+       << "    {\"name\": \"BM_ServeSteadyAllocs\", \"run_type\": "
+          "\"iteration\", \"real_time\": "
+       << steady_allocs << ", \"time_unit\": \"count\"}\n"
+       << "  ]\n}\n";
   json.close();
   std::printf("\nwrote BENCH_serving.json\n");
 
   bench::ShapeChecks checks;
-  checks.expect(rows[0].m.mean_batch_size == 1.0,
-                "max_batch=1 serves strictly unbatched");
-  checks.expect(rows[1].m.mean_batch_size > 1.0,
-                "max_batch=8 actually coalesces under live load");
+  checks.expect(parity_diff == 0.0f,
+                "planned forward bit-identical to unplanned");
+  checks.expect(steady_allocs == 0,
+                "steady-state planned forward allocates zero buffers");
+  checks.expect(unplanned_allocs > 0,
+                "unplanned baseline still allocates per request");
+  for (const auto* rows : {&planned_rows, &unplanned_rows}) {
+    checks.expect((*rows)[0].m.mean_batch_size == 1.0,
+                  "max_batch=1 serves strictly unbatched");
+    checks.expect((*rows)[1].m.mean_batch_size > 1.0,
+                  "max_batch=8 actually coalesces under live load");
+    for (const Row& r : *rows)
+      checks.expect(r.m.requests == kRequests && r.m.failed == 0,
+                    "all requests served at max_batch=" +
+                        std::to_string(r.max_batch));
+  }
   checks.expect(
-      rows[1].m.requests_per_s > rows[0].m.requests_per_s,
-      "batching raises throughput over unbatched serving");
-  for (const Row& r : rows)
-    checks.expect(r.m.requests == kRequests && r.m.failed == 0,
-                  "all requests served at max_batch=" +
-                      std::to_string(r.max_batch));
+      planned_rows[1].m.requests_per_s > unplanned_rows[0].m.requests_per_s,
+      "planned batched serving beats unplanned unbatched");
   return checks.report();
 }

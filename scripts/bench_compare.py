@@ -14,6 +14,11 @@ Two kinds of gates, both machine-readable and CI-friendly:
     blocked matmul backend must stay >= 3x faster than naive at 512^3
     whatever the runner's absolute speed.
 
+  * --max-value NAME LIMIT: asserts fresh[NAME] <= LIMIT on the raw
+    metric. For count-like benchmarks (e.g. BM_ServeSteadyAllocs reports
+    allocations-per-request in real_time), a hard absolute ceiling —
+    `--max-value BM_ServeSteadyAllocs 0` is the zero-allocation gate.
+
 Exit code 0 iff every requested gate holds.
 
 Examples:
@@ -74,6 +79,14 @@ def main():
         help="require fresh[SLOW]/fresh[FAST] >= MIN (repeatable)",
     )
     ap.add_argument(
+        "--max-value",
+        nargs=2,
+        action="append",
+        default=[],
+        metavar=("NAME", "LIMIT"),
+        help="require fresh[NAME] <= LIMIT on the raw metric (repeatable)",
+    )
+    ap.add_argument(
         "--require",
         action="append",
         default=[],
@@ -110,6 +123,22 @@ def main():
             failures.append(
                 f"SPEEDUP   {fast} only {ratio:.2f}x over {slow} "
                 f"(want >= {float(min_ratio):.2f}x)"
+            )
+
+    for name, limit in args.max_value:
+        if name not in fresh:
+            failures.append(f"MISSING   {name}: needed by --max-value")
+            continue
+        checked += 1
+        value = fresh[name][args.metric]
+        ok = value <= float(limit)
+        print(
+            f"{'ok   ' if ok else 'FAIL '} max-value {name}: "
+            f"{value:g} (want <= {float(limit):g})"
+        )
+        if not ok:
+            failures.append(
+                f"MAX-VALUE {name}: {value:g} exceeds limit {float(limit):g}"
             )
 
     if args.baseline:

@@ -46,11 +46,17 @@ Variable merge_heads(const Variable& x) {
 /// Scaled dot-product attention on head-split operands
 /// q: [*, h, Nq, dh], k/v: [*, h, Nk, dh] -> [*, h, Nq, dh].
 Variable scaled_attention(const Variable& q, const Variable& k,
-                          const Variable& v) {
+                          const Variable& v, bool fused) {
   const Index dh = q.shape().dim(-1);
-  Variable scores = autograd::scale(
-      autograd::matmul(q, autograd::transpose_last2(k)),
-      1.0f / std::sqrt(static_cast<float>(dh)));
+  const float s = 1.0f / std::sqrt(static_cast<float>(dh));
+  if (fused && !autograd::is_grad_enabled()) {
+    // Tape-free: scale + softmax rows fused into the score GEMM's strips.
+    tensor::Tensor probs = tensor::ops::matmul_scale_softmax(
+        q.value(), tensor::ops::transpose_last2(k.value()), s);
+    return Variable::input(tensor::ops::matmul(probs, v.value()));
+  }
+  Variable scores =
+      autograd::scale(autograd::matmul(q, autograd::transpose_last2(k)), s);
   return autograd::matmul(autograd::softmax_lastdim(scores), v);
 }
 
@@ -107,7 +113,18 @@ Variable MultiHeadSelfAttention::forward(const Variable& x) const {
   Variable q = split_heads(wq_->forward(x), heads_);
   Variable k = split_heads(wk_->forward(x), heads_);
   Variable v = split_heads(wv_->forward(x), heads_);
-  return wo_->forward(merge_heads(scaled_attention(q, k, v)));
+  return wo_->forward(merge_heads(scaled_attention(q, k, v, is_frozen())));
+}
+
+Variable MultiHeadSelfAttention::forward_residual(
+    const Variable& x, const Variable& residual) const {
+  DCHAG_CHECK(x.shape().dim(-1) == dim_,
+              "attention dim mismatch: " << x.shape().to_string());
+  Variable q = split_heads(wq_->forward(x), heads_);
+  Variable k = split_heads(wk_->forward(x), heads_);
+  Variable v = split_heads(wv_->forward(x), heads_);
+  return wo_->forward_residual(
+      merge_heads(scaled_attention(q, k, v, is_frozen())), residual);
 }
 
 CrossAttentionAggregator::CrossAttentionAggregator(
@@ -158,7 +175,8 @@ Variable CrossAttentionAggregator::forward(const Variable& tokens) const {
   Variable qh = split_heads(wq_->forward(q_src), heads_);
   Variable kh = split_heads(wk_->forward(x), heads_);
   Variable vh = split_heads(wv_->forward(x), heads_);
-  Variable out = wo_->forward(merge_heads(scaled_attention(qh, kh, vh)));
+  Variable out =
+      wo_->forward(merge_heads(scaled_attention(qh, kh, vh, is_frozen())));
 
   if (mode_ == QueryMode::kChannelTokens) {
     return autograd::mean_dim(out, 2);  // pool C attended tokens -> one

@@ -23,9 +23,12 @@ namespace detail {
 /// Inverse of split_heads: [*, h, N, dh] -> [*, N, h*dh].
 [[nodiscard]] Variable merge_heads(const Variable& x);
 /// softmax(q k^T / sqrt(dh)) v on head-split operands
-/// q: [*, h, Nq, dh], k/v: [*, h, Nk, dh].
+/// q: [*, h, Nq, dh], k/v: [*, h, Nk, dh]. With `fused` (a frozen owner)
+/// and gradients off, the scale+softmax rows ride the score GEMM's row
+/// strips (ops::matmul_scale_softmax) — bit-identical, tape-free.
 [[nodiscard]] Variable scaled_attention(const Variable& q, const Variable& k,
-                                        const Variable& v);
+                                        const Variable& v,
+                                        bool fused = false);
 /// Validates a partial-channel slot list: strictly increasing indices in
 /// [0, width), one per token (ntokens == slots.size()).
 void check_subset_slots(std::span<const Index> slots, Index width,
@@ -40,6 +43,10 @@ class MultiHeadSelfAttention : public Module {
                          const std::string& name = "attn");
 
   [[nodiscard]] Variable forward(const Variable& x) const;
+  /// residual + forward(x), with the residual add fused into the output
+  /// projection's GEMM tail when frozen for serving (bit-identical).
+  [[nodiscard]] Variable forward_residual(const Variable& x,
+                                          const Variable& residual) const;
 
  private:
   Index dim_;

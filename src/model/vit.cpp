@@ -21,10 +21,30 @@ ViTBlock::ViTBlock(const ModelConfig& cfg, Rng& rng,
 }
 
 Variable ViTBlock::forward(const Variable& x) const {
+  if (is_frozen() && !autograd::is_grad_enabled()) {
+    // Serving plan: both residual adds and the MLP's GELU ride their
+    // producing GEMMs' row strips. The residual lands as (value +
+    // residual) instead of add(residual, value) — a commutative float
+    // add, so the output stays bit-identical to the path below.
+    Variable h = attn_->forward_residual(ln1_->forward(x), x);
+    return mlp_down_->forward_residual(
+        mlp_up_->forward_gelu(ln2_->forward(h)), h);
+  }
   Variable h = autograd::add(x, attn_->forward(ln1_->forward(x)));
   Variable mlp =
       mlp_down_->forward(autograd::gelu(mlp_up_->forward(ln2_->forward(h))));
   return autograd::add(h, mlp);
+}
+
+Variable ViTBlock::forward_post_ln(const Variable& x,
+                                   const LayerNorm& final_ln) const {
+  if (is_frozen() && !autograd::is_grad_enabled()) {
+    Variable h = attn_->forward_residual(ln1_->forward(x), x);
+    return mlp_down_->forward_residual_layernorm(
+        mlp_up_->forward_gelu(ln2_->forward(h)), h, final_ln.gamma(),
+        final_ln.beta());
+  }
+  return final_ln.forward(forward(x));
 }
 
 ViTEncoder::ViTEncoder(const ModelConfig& cfg, Rng& rng,
@@ -40,6 +60,15 @@ ViTEncoder::ViTEncoder(const ModelConfig& cfg, Rng& rng,
 }
 
 Variable ViTEncoder::forward(const Variable& x) const {
+  if (is_frozen() && !autograd::is_grad_enabled() && !blocks_.empty()) {
+    // Serving plan: the final layernorm rides the last block's closing
+    // MLP projection instead of a separate fan-out over the tokens.
+    Variable h = x;
+    for (std::size_t i = 0; i + 1 < blocks_.size(); ++i) {
+      h = blocks_[i]->forward(h);
+    }
+    return blocks_.back()->forward_post_ln(h, *final_ln_);
+  }
   Variable h = x;
   for (const auto& block : blocks_) h = block->forward(h);
   return final_ln_->forward(h);

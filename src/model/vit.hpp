@@ -15,6 +15,11 @@ class ViTBlock : public Module {
 
   /// x: [B, S, D] -> [B, S, D].
   [[nodiscard]] Variable forward(const Variable& x) const;
+  /// forward(x) with `final_ln` applied to the result, the norm fused into
+  /// the closing MLP projection's GEMM tail when frozen for serving (the
+  /// encoder runs its last block through this).
+  [[nodiscard]] Variable forward_post_ln(const Variable& x,
+                                         const LayerNorm& final_ln) const;
 
  private:
   std::unique_ptr<LayerNorm> ln1_, ln2_;

@@ -3,9 +3,13 @@
 namespace dchag::serve {
 
 Engine::Engine(model::ForecastModel& model,
-               std::optional<runtime::Context> ctx)
-    : model_(&model), ctx_(std::move(ctx)) {
-  model_->eval();
+               std::optional<runtime::Context> ctx, EngineOptions opts)
+    : model_(&model), ctx_(std::move(ctx)), opts_(opts) {
+  if (opts_.plan) {
+    model_->freeze_for_serving();
+  } else {
+    model_->eval();
+  }
 }
 
 Tensor Engine::run(const Tensor& images, const std::vector<Index>& channels,
@@ -13,6 +17,10 @@ Tensor Engine::run(const Tensor& images, const std::vector<Index>& channels,
   DCHAG_CHECK(!model_->is_training(),
               "serving requires an eval-mode model");
   autograd::NoGradGuard no_grad;
+  // With a plan, every tensor this forward builds draws from the shared
+  // pool; only the first request per shape lane touches the heap.
+  std::optional<tensor::plan::ArenaScope> arena_scope;
+  if (opts_.plan) arena_scope.emplace(arena_);
   runtime::Scope ctx_scope(runtime::Context::effective_or_current(ctx_));
   if (channels.empty()) {
     // Full-channel request; strategy-agnostic input selection (identity

@@ -14,6 +14,7 @@
 
 #include "model/foundation.hpp"
 #include "runtime/context.hpp"
+#include "tensor/plan.hpp"
 
 namespace dchag::serve {
 
@@ -26,9 +27,21 @@ using InferenceFn = std::function<Tensor(
     const Tensor& images, const std::vector<Index>& channels,
     float lead_time)>;
 
+/// Serving-plan knobs. The default is the fully planned forward; plan =
+/// false keeps the model merely eval()'d and every run() allocating
+/// tensors fresh — the baseline the serving bench and the plan parity
+/// suite compare against (outputs are bit-identical either way).
+struct EngineOptions {
+  /// freeze_for_serving() the model (pre-packed GEMM panels, fused
+  /// epilogues) and route run()'s tensor buffers through a shared arena.
+  bool plan = true;
+};
+
 class Engine {
  public:
-  /// The model must outlive the engine. It is switched to eval mode here;
+  /// The model must outlive the engine. It is switched to eval mode here
+  /// (and, with opts.plan, frozen for serving — re-freeze via
+  /// freeze_for_serving() after any weight mutation such as load_module);
   /// full-channel requests must carry exactly frontend().local_channels()
   /// channel slabs.
   ///
@@ -37,7 +50,8 @@ class Engine {
   /// (how Server workers hand theirs through). A runtime::Scope active
   /// on the calling thread outranks a pinned context.
   explicit Engine(model::ForecastModel& model,
-                  std::optional<runtime::Context> ctx = std::nullopt);
+                  std::optional<runtime::Context> ctx = std::nullopt,
+                  EngineOptions opts = {});
 
   /// Tape-free batched forward; `channels` empty means all channels,
   /// otherwise the subset routes through the front-end's partial-channel
@@ -49,10 +63,18 @@ class Engine {
   [[nodiscard]] InferenceFn inference_fn() const;
 
   [[nodiscard]] const model::ForecastModel& model() const { return *model_; }
+  [[nodiscard]] const EngineOptions& options() const { return opts_; }
+  /// Arena pool counters (fresh = warm-up heap allocations, reused =
+  /// steady-state hits). All zero when opts.plan is off.
+  [[nodiscard]] tensor::plan::Arena::Stats arena_stats() const {
+    return arena_.stats();
+  }
 
  private:
   model::ForecastModel* model_;
   std::optional<runtime::Context> ctx_;
+  EngineOptions opts_;
+  mutable tensor::plan::Arena arena_;
 };
 
 }  // namespace dchag::serve

@@ -34,6 +34,10 @@ class Metrics {
                                           ///< straggler hedge timeout
     std::uint64_t degraded_responses = 0;  ///< answers served from a
                                            ///< survivor channel subset
+    std::uint64_t forward_allocations = 0;  ///< heap buffer allocations on
+                                            ///< the forward path, summed
+    std::uint64_t last_forward_allocations = 0;  ///< most recent batch; the
+                                                 ///< steady-state-zero gauge
 
     [[nodiscard]] std::string to_string() const;
     /// /metrics-style exposition lines ("dchag_serve_<name> <value>",
@@ -49,11 +53,17 @@ class Metrics {
     queue_ms_sum_ += queue_ms;
   }
 
-  void record_batch(std::uint64_t size, double forward_ms) {
+  /// `allocations` is the forward's heap-buffer count on the executing
+  /// thread (tensor::plan::thread_buffer_allocations delta) — non-zero
+  /// only during warm-up when the engine serves under a memory plan.
+  void record_batch(std::uint64_t size, double forward_ms,
+                    std::uint64_t allocations = 0) {
     std::lock_guard<std::mutex> lock(mu_);
     ++batches_;
     batched_requests_ += size;
     forward_ms_sum_ += forward_ms;
+    forward_allocations_ += allocations;
+    last_forward_allocations_ = allocations;
   }
 
   void record_failure() {
@@ -107,6 +117,8 @@ class Metrics {
     s.recoveries = recoveries_;
     s.hedged_dispatches = hedged_dispatches_;
     s.degraded_responses = degraded_responses_;
+    s.forward_allocations = forward_allocations_;
+    s.last_forward_allocations = last_forward_allocations_;
     if (recoveries_ > 0)
       s.mean_recovery_ms = recovery_ms_sum_ / static_cast<double>(recoveries_);
     if (batches_ > 0) {
@@ -148,6 +160,8 @@ class Metrics {
   std::uint64_t recoveries_ = 0;
   std::uint64_t hedged_dispatches_ = 0;
   std::uint64_t degraded_responses_ = 0;
+  std::uint64_t forward_allocations_ = 0;
+  std::uint64_t last_forward_allocations_ = 0;
   double recovery_ms_sum_ = 0.0;
   double queue_ms_sum_ = 0.0;
   double forward_ms_sum_ = 0.0;

@@ -6,6 +6,7 @@
 #include <chrono>
 
 #include "tensor/ops.hpp"
+#include "tensor/plan.hpp"
 
 namespace dchag::serve {
 
@@ -98,10 +99,17 @@ void Server::execute(Batch batch) {
         n == 1 ? slabs.front() : tensor::ops::concat(slabs, 0);
     const Request& head = batch.items.front().request;
 
+    // Heap-buffer delta across the forward: the Engine runs it on this
+    // worker thread, so the thread-local counter captures exactly its
+    // allocations (zero in steady state under a memory plan). SPMD
+    // forwards run on rank threads and read ~0 here by construction.
+    const std::uint64_t allocs0 = tensor::plan::thread_buffer_allocations();
     const auto t0 = std::chrono::steady_clock::now();
     Tensor pred = infer_(images, head.channels, head.lead_time);
     const auto t1 = std::chrono::steady_clock::now();
     const double forward_ms = ms_between(t0, t1);
+    const std::uint64_t forward_allocs =
+        tensor::plan::thread_buffer_allocations() - allocs0;
     DCHAG_CHECK(pred.rank() == 3 &&
                     pred.dim(0) == static_cast<Index>(n),
                 "InferenceFn returned " << pred.shape().to_string()
@@ -123,7 +131,7 @@ void Server::execute(Batch batch) {
       metrics_.record_request(resp.total_ms, resp.queue_ms);
       p.promise.set_value(std::move(resp));
     }
-    metrics_.record_batch(n, forward_ms);
+    metrics_.record_batch(n, forward_ms, forward_allocs);
     metrics_.mark_window(now_ms());
   } catch (...) {
     // A worker never leaks: the batch's requests fail individually and the

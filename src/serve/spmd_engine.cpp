@@ -62,7 +62,9 @@ SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory,
         try {
           model = factory_(comm);
           DCHAG_CHECK(model != nullptr, "rank model factory returned null");
-          model->eval();
+          // Serving plan: eval + pre-packed GEMM panels + fused epilogues
+          // (bit-identical forward; see tensor/plan.hpp).
+          model->freeze_for_serving();
           // Cold-start shard: what a respawned rank reloads after a
           // death. Written before ready so a heal never races the save.
           if (!checkpoint_dir_.empty())
@@ -91,6 +93,10 @@ SpmdEngine::SpmdEngine(int ranks, RankModelFactory factory,
           });
           if (failed_ranks_ > 0) return;
         }
+        // Rank-private arena: this thread runs every forward it serves,
+        // so steady-state requests reuse the warm-up buffers.
+        tensor::plan::Arena arena;
+        tensor::plan::ArenaScope arena_scope(arena);
         serve_loop(&comm, model.get(), /*min_stamp=*/0);
       });
     } catch (...) {
@@ -348,6 +354,9 @@ void SpmdEngine::respawn_rank(comm::Communicator healed,
     model->eval();
     if (!checkpoint_dir_.empty())
       train::load_module(shard_path(checkpoint_dir_, healed.rank()), *model);
+    // Freeze AFTER the reload: load_module mutates weights in place, and
+    // panels packed before it would be stale (StaleWeightPackError).
+    model->freeze_for_serving();
   } catch (...) {
     // The heal failed but the degraded world keeps serving; surface the
     // error on wait_recovered() rather than killing the engine.
@@ -376,6 +385,8 @@ void SpmdEngine::respawn_rank(comm::Communicator healed,
     }
   }
   cv_done_.notify_all();
+  tensor::plan::Arena arena;
+  tensor::plan::ArenaScope arena_scope(arena);
   serve_loop(&healed, model.get(), /*min_stamp=*/epoch);
 }
 

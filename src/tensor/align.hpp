@@ -1,0 +1,65 @@
+// 32-byte-aligned storage for tensor buffers and GEMM pack panels.
+//
+// Every float buffer the tensor layer hands to a kernel comes from this
+// allocator, so the AVX2 micro-kernel's loads land on cache-line-friendly
+// addresses and the pack panels satisfy the alignment the vectorised
+// loops were written for. std::vector keeps value semantics (sized
+// construction zero-fills, moves are pointer swaps); only the underlying
+// operator new/delete pair is alignment-aware.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <new>
+#include <vector>
+
+namespace dchag::tensor {
+
+/// Minimum alignment of tensor/panel storage: one AVX2 vector (and half a
+/// typical cache line), matching the widest load in the GEMM micro-kernel.
+inline constexpr std::size_t kBufferAlignment = 32;
+
+template <typename T, std::size_t Alignment = kBufferAlignment>
+struct AlignedAllocator {
+  static_assert((Alignment & (Alignment - 1)) == 0,
+                "alignment must be a power of two");
+  static_assert(Alignment >= alignof(T), "alignment below the type's own");
+
+  using value_type = T;
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Alignment>&) noexcept {}
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Alignment>;
+  };
+
+  [[nodiscard]] T* allocate(std::size_t n) {
+    return static_cast<T*>(
+        ::operator new(n * sizeof(T), std::align_val_t{Alignment}));
+  }
+  void deallocate(T* p, std::size_t n) noexcept {
+    ::operator delete(p, n * sizeof(T), std::align_val_t{Alignment});
+  }
+
+  friend bool operator==(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return true;
+  }
+  friend bool operator!=(const AlignedAllocator&,
+                         const AlignedAllocator&) noexcept {
+    return false;
+  }
+};
+
+/// The storage type behind every Tensor buffer and GEMM pack panel.
+using AlignedVec = std::vector<float, AlignedAllocator<float>>;
+
+[[nodiscard]] inline bool is_aligned(const void* p,
+                                     std::size_t alignment = kBufferAlignment) {
+  return (reinterpret_cast<std::uintptr_t>(p) & (alignment - 1)) == 0;
+}
+
+}  // namespace dchag::tensor

@@ -4,6 +4,8 @@
 #include <cstring>
 #include <vector>
 
+#include "tensor/check.hpp"
+
 #if defined(DCHAG_GEMM_AVX2)
 #include <immintrin.h>
 #endif
@@ -113,35 +115,132 @@ void micro_kernel(Index kc, const float* a, const float* b, float* C,
 
 }  // namespace
 
+// Panel sizes are whole vector multiples, so MR/NR panel starts inside an
+// aligned base stay aligned and the micro-kernel never straddles a vector
+// boundary it didn't choose.
+static_assert(kKC * kMR % 8 == 0, "A panel stride must be a whole ymm count");
+static_assert(kKC * kNR % 8 == 0, "B panel stride must be a whole ymm count");
+
+namespace {
+
+/// Per-thread packing scratch, reused across calls (~632 KB once per
+/// lane): small matmuls — attention's many [N, dh] panels — would
+/// otherwise spend as long in the allocator as in the micro-kernel.
+/// AlignedVec storage fixes the long-standing alignment bug here: the
+/// panels the AVX2 micro-kernel streams over now start on a 32-byte
+/// boundary instead of wherever std::vector's allocator landed.
+float* thread_packed_a() {
+  static thread_local AlignedVec packed_a(
+      static_cast<std::size_t>(kMC * kKC));
+  DCHAG_CHECK(is_aligned(packed_a.data()), "A pack scratch misaligned");
+  return packed_a.data();
+}
+
+float* thread_packed_b() {
+  static thread_local AlignedVec packed_b(
+      static_cast<std::size_t>(kKC * kNC));
+  DCHAG_CHECK(is_aligned(packed_b.data()), "B pack scratch misaligned");
+  return packed_b.data();
+}
+
+/// Macro kernel over one packed (jc, pc) B block: shared tail of the
+/// per-call and pre-packed entry points, so their loop order (and thus
+/// every C element's accumulation order) can never drift apart.
+void macro_kernel(Index M, Index nc, Index kc, const float* A, Index lda,
+                  Index pc, const float* packed_b_block, float* C, Index ldc,
+                  Index jc, float* packed_a) {
+  for (Index ic = 0; ic < M; ic += kMC) {
+    const Index mc = std::min(kMC, M - ic);
+    pack_a(A + ic * lda + pc, lda, mc, kc, packed_a);
+    for (Index jr = 0; jr < nc; jr += kNR) {
+      const Index nr = std::min(kNR, nc - jr);
+      const float* bp = packed_b_block + (jr / kNR) * kKC * kNR;
+      for (Index ir = 0; ir < mc; ir += kMR) {
+        const Index mr = std::min(kMR, mc - ir);
+        const float* ap = packed_a + (ir / kMR) * kKC * kMR;
+        micro_kernel(kc, ap, bp, C + (ic + ir) * ldc + jc + jr, ldc, mr, nr);
+      }
+    }
+  }
+}
+
+}  // namespace
+
 void gemm_blocked(Index M, Index N, Index K, const float* A, Index lda,
                   const float* B, Index ldb, float* C, Index ldc) {
   if (M <= 0 || N <= 0 || K <= 0) return;
-  // Packing scratch is reused across calls per thread (~632 KB once per
-  // lane): small matmuls — attention's many [N, dh] panels — would
-  // otherwise spend as long in the allocator as in the micro-kernel.
-  static thread_local std::vector<float> packed_a(
-      static_cast<std::size_t>(kMC * kKC));
-  static thread_local std::vector<float> packed_b(
-      static_cast<std::size_t>(kKC * kNC));
+  float* packed_a = thread_packed_a();
+  float* packed_b_buf = thread_packed_b();
   for (Index jc = 0; jc < N; jc += kNC) {
     const Index nc = std::min(kNC, N - jc);
     for (Index pc = 0; pc < K; pc += kKC) {
       const Index kc = std::min(kKC, K - pc);
-      pack_b(B + pc * ldb + jc, ldb, kc, nc, packed_b.data());
-      for (Index ic = 0; ic < M; ic += kMC) {
-        const Index mc = std::min(kMC, M - ic);
-        pack_a(A + ic * lda + pc, lda, mc, kc, packed_a.data());
-        for (Index jr = 0; jr < nc; jr += kNR) {
-          const Index nr = std::min(kNR, nc - jr);
-          const float* bp = packed_b.data() + (jr / kNR) * kKC * kNR;
-          for (Index ir = 0; ir < mc; ir += kMR) {
-            const Index mr = std::min(kMR, mc - ir);
-            const float* ap = packed_a.data() + (ir / kMR) * kKC * kMR;
-            micro_kernel(kc, ap, bp, C + (ic + ir) * ldc + jc + jr, ldc, mr,
-                         nr);
-          }
-        }
-      }
+      pack_b(B + pc * ldb + jc, ldb, kc, nc, packed_b_buf);
+      macro_kernel(M, nc, kc, A, lda, pc, packed_b_buf, C, ldc, jc, packed_a);
+    }
+  }
+}
+
+PackedB pack_b_matrix(const float* B, Index K, Index N, Index ldb) {
+  DCHAG_CHECK(K > 0 && N > 0, "pack_b_matrix needs K, N > 0, got " << K
+                                                                   << ", "
+                                                                   << N);
+  PackedB pb;
+  pb.K = K;
+  pb.N = N;
+  const Index pc_blocks = (K + kKC - 1) / kKC;
+  const Index jc_blocks = (N + kNC - 1) / kNC;
+  // Pass 1: exact offsets — edge jc blocks need fewer NR panels.
+  pb.block_offset.resize(
+      static_cast<std::size_t>(jc_blocks * pc_blocks));
+  std::size_t total = 0;
+  for (Index bj = 0; bj < jc_blocks; ++bj) {
+    const Index nc = std::min(kNC, N - bj * kNC);
+    const Index panels = (nc + kNR - 1) / kNR;
+    const std::size_t block_floats =
+        static_cast<std::size_t>(panels) * static_cast<std::size_t>(kKC * kNR);
+    for (Index bp = 0; bp < pc_blocks; ++bp) {
+      pb.block_offset[static_cast<std::size_t>(bj * pc_blocks + bp)] = total;
+      total += block_floats;
+    }
+  }
+  // Pass 2: pack every block with the same pack_b the per-call path uses
+  // (zero-filled storage covers the k rows past an edge block's kc, which
+  // the micro-kernel never reads).
+  pb.data.assign(total, 0.0f);
+  for (Index bj = 0; bj < jc_blocks; ++bj) {
+    const Index jc = bj * kNC;
+    const Index nc = std::min(kNC, N - jc);
+    for (Index bp = 0; bp < pc_blocks; ++bp) {
+      const Index pc = bp * kKC;
+      const Index kc = std::min(kKC, K - pc);
+      pack_b(B + pc * ldb + jc, ldb, kc, nc,
+             pb.data.data() +
+                 pb.block_offset[static_cast<std::size_t>(bj * pc_blocks +
+                                                          bp)]);
+    }
+  }
+  DCHAG_CHECK(is_aligned(pb.data.data()), "packed panels misaligned");
+  return pb;
+}
+
+void gemm_blocked_prepacked(Index M, const float* A, Index lda,
+                            const PackedB& pb, float* C, Index ldc) {
+  const Index N = pb.N;
+  const Index K = pb.K;
+  if (M <= 0 || N <= 0 || K <= 0) return;
+  float* packed_a = thread_packed_a();
+  const Index pc_blocks = (K + kKC - 1) / kKC;
+  for (Index jc = 0; jc < N; jc += kNC) {
+    const Index nc = std::min(kNC, N - jc);
+    const Index bj = jc / kNC;
+    for (Index pc = 0; pc < K; pc += kKC) {
+      const Index kc = std::min(kKC, K - pc);
+      const float* block =
+          pb.data.data() +
+          pb.block_offset[static_cast<std::size_t>(bj * pc_blocks +
+                                                   pc / kKC)];
+      macro_kernel(M, nc, kc, A, lda, pc, block, C, ldc, jc, packed_a);
     }
   }
 }

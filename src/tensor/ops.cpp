@@ -107,6 +107,48 @@ Tensor unary_op(const Tensor& a, F&& f) {
   return out;
 }
 
+// Shared scalar/row kernels: the standalone ops and the fused GEMM-tail
+// epilogues both call these, which is what makes fused == unfused an
+// identity at the bit level rather than a tolerance.
+
+constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
+
+inline float gelu_scalar(float x) {
+  return 0.5f * x * (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
+}
+
+/// One softmax row; orow may alias row (the fused in-place case).
+inline void softmax_row(const float* row, float* orow, Index D) {
+  float mx = row[0];
+  for (Index j = 1; j < D; ++j) mx = std::max(mx, row[j]);
+  float sum = 0.0f;
+  for (Index j = 0; j < D; ++j) {
+    orow[j] = std::exp(row[j] - mx);
+    sum += orow[j];
+  }
+  const float inv = 1.0f / sum;
+  for (Index j = 0; j < D; ++j) orow[j] *= inv;
+}
+
+/// One layernorm row; yrow may alias row. mean/rstd sinks are optional.
+inline void ln_row(const float* row, float* yrow, Index D, const float* g,
+                   const float* b, float eps, float* mean_out,
+                   float* rstd_out) {
+  float m = 0.0f;
+  for (Index j = 0; j < D; ++j) m += row[j];
+  m /= static_cast<float>(D);
+  float v = 0.0f;
+  for (Index j = 0; j < D; ++j) {
+    const float d = row[j] - m;
+    v += d * d;
+  }
+  v /= static_cast<float>(D);
+  const float rs = 1.0f / std::sqrt(v + eps);
+  if (mean_out != nullptr) *mean_out = m;
+  if (rstd_out != nullptr) *rstd_out = rs;
+  for (Index j = 0; j < D; ++j) yrow[j] = (row[j] - m) * rs * g[j] + b[j];
+}
+
 }  // namespace
 
 Tensor add(const Tensor& a, const Tensor& b) {
@@ -246,6 +288,187 @@ Tensor matmul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor linear_fused(const Tensor& x, const Tensor& w,
+                    const gemm::PackedB* packed, const LinearEpilogue& epi) {
+  DCHAG_CHECK(x.rank() >= 2 && w.rank() == 2,
+              "linear_fused ranks " << x.rank() << ", " << w.rank());
+  const Index K = x.dim(-1);
+  const Index N = w.dim(1);
+  DCHAG_CHECK(w.dim(0) == K, "linear_fused inner dims "
+                                 << x.shape().to_string() << " x "
+                                 << w.shape().to_string());
+  DCHAG_CHECK(packed == nullptr || packed->matches(K, N),
+              "packed panels are for [" << (packed ? packed->K : 0) << ", "
+                                        << (packed ? packed->N : 0)
+                                        << "], weight is ["
+                                        << K << ", " << N << "]");
+  auto out_dims = x.shape().dims();
+  out_dims.back() = N;
+  Tensor out(Shape(std::move(out_dims)));
+  const Index R = x.numel() / K;  // flattened row count
+
+  if (epi.bias != nullptr)
+    DCHAG_CHECK(epi.bias->shape() == Shape{N}, "fused bias must be [" << N
+                                                                      << "]");
+  if (epi.residual != nullptr)
+    DCHAG_CHECK(epi.residual->shape() == out.shape(),
+                "fused residual shape " << epi.residual->shape().to_string());
+  const bool has_ln = epi.ln_gamma != nullptr;
+  if (has_ln)
+    DCHAG_CHECK(epi.ln_beta != nullptr &&
+                    epi.ln_gamma->shape() == Shape{N} &&
+                    epi.ln_beta->shape() == Shape{N},
+                "fused layernorm gamma/beta must be [" << N << "]");
+
+  const float* px = x.data();
+  const float* pw = w.data();
+  const float* pbias = epi.bias ? epi.bias->data() : nullptr;
+  const float* pres = epi.residual ? epi.residual->data() : nullptr;
+  const float* pg = has_ln ? epi.ln_gamma->data() : nullptr;
+  const float* pb = has_ln ? epi.ln_beta->data() : nullptr;
+  float* po = out.data();
+
+  // Each stage repeats its standalone op's scalar code on a completed
+  // row; residual order (value + residual) is the bitwise-equal mirror of
+  // the unfused add(residual, value).
+  auto epilogue_rows = [&](Index r0, Index r1) {
+    for (Index r = r0; r < r1; ++r) {
+      float* crow = po + r * N;
+      if (pbias != nullptr)
+        for (Index j = 0; j < N; ++j) crow[j] = crow[j] + pbias[j];
+      if (epi.gelu)
+        for (Index j = 0; j < N; ++j) crow[j] = gelu_scalar(crow[j]);
+      if (pres != nullptr) {
+        const float* rrow = pres + r * N;
+        for (Index j = 0; j < N; ++j) crow[j] = crow[j] + rrow[j];
+      }
+      if (has_ln) ln_row(crow, crow, N, pg, pb, epi.ln_eps, nullptr, nullptr);
+    }
+  };
+
+  const KernelConfig cfg = kernel_config();
+  if (cfg.backend == KernelBackend::kNaive) {
+    for (Index r = 0; r < R; ++r) {
+      float* crow = po + r * N;
+      const float* arow = px + r * K;
+      for (Index k = 0; k < K; ++k) {
+        const float av = arow[k];
+        if (av == 0.0f) continue;
+        const float* brow = pw + k * N;
+        for (Index j = 0; j < N; ++j) crow[j] += av * brow[j];
+      }
+    }
+    epilogue_rows(0, R);
+  } else {
+    const bool use_packed = packed != nullptr;
+    auto run_rows = [&](Index r0, Index r1) {
+      if (use_packed) {
+        gemm::gemm_blocked_prepacked(r1 - r0, px + r0 * K, K, *packed,
+                                     po + r0 * N, N);
+      } else {
+        gemm::gemm_blocked(r1 - r0, N, K, px + r0 * K, K, pw, N, po + r0 * N,
+                           N);
+      }
+      epilogue_rows(r0, r1);
+    };
+    const Index flops_per_row = 2 * N * K;
+    const Index grain =
+        std::max<Index>(1, (1 << 20) / std::max<Index>(1, flops_per_row));
+    if (cfg.backend == KernelBackend::kParallel) {
+      active_pool().parallel_for(R, grain, run_rows, cfg.threads);
+    } else {
+      run_rows(0, R);
+    }
+  }
+  g_flops.fetch_add(
+      static_cast<std::uint64_t>(2) * static_cast<std::uint64_t>(R) *
+          static_cast<std::uint64_t>(N) * static_cast<std::uint64_t>(K),
+      std::memory_order_relaxed);
+  return out;
+}
+
+Tensor matmul_scale_softmax(const Tensor& a, const Tensor& b, float s) {
+  DCHAG_CHECK(a.rank() >= 2 && b.rank() >= 2,
+              "matmul_scale_softmax ranks " << a.rank() << ", " << b.rank());
+  const Index M = a.dim(-2);
+  const Index K = a.dim(-1);
+  const Index N = b.dim(-1);
+  DCHAG_CHECK(K == b.dim(-2), "matmul_scale_softmax inner dims "
+                                  << a.shape().to_string() << " x "
+                                  << b.shape().to_string());
+  const bool shared_b = b.rank() == 2 && a.rank() > 2;
+  Index batch = 1;
+  for (Index d = 0; d < a.rank() - 2; ++d) batch *= a.dim(d);
+  if (!shared_b) {
+    DCHAG_CHECK(a.rank() == b.rank(), "matmul_scale_softmax batch rank");
+    for (Index d = 0; d < a.rank() - 2; ++d)
+      DCHAG_CHECK(a.dim(d) == b.dim(d), "matmul_scale_softmax batch dims");
+  }
+  auto out_dims = a.shape().dims();
+  out_dims.back() = N;
+  Tensor out(Shape(std::move(out_dims)));
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out.data();
+
+  // scale then softmax on a completed score row — the same scalar ops as
+  // ops::scale + ops::softmax_lastdim, fused into the matmul's strips.
+  auto epilogue_rows = [&](Index r0, Index r1) {
+    for (Index r = r0; r < r1; ++r) {
+      float* crow = po + r * N;
+      for (Index j = 0; j < N; ++j) crow[j] = crow[j] * s;
+      softmax_row(crow, crow, N);
+    }
+  };
+
+  const KernelConfig cfg = kernel_config();
+  if (cfg.backend == KernelBackend::kNaive) {
+    for (Index bi = 0; bi < batch; ++bi) {
+      const float* A = pa + bi * M * K;
+      const float* B = pb + (shared_b ? 0 : bi * K * N);
+      float* C = po + bi * M * N;
+      for (Index i = 0; i < M; ++i) {
+        float* crow = C + i * N;
+        for (Index k = 0; k < K; ++k) {
+          const float av = A[i * K + k];
+          if (av == 0.0f) continue;
+          const float* brow = B + k * N;
+          for (Index j = 0; j < N; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+    epilogue_rows(0, batch * M);
+  } else {
+    auto run_rows = [&](Index r0, Index r1) {
+      Index r = r0;
+      while (r < r1) {
+        const Index bi = r / M;
+        const Index i0 = r - bi * M;
+        const Index rows = std::min(r1 - r, M - i0);
+        gemm::gemm_blocked(rows, N, K, pa + (bi * M + i0) * K, K,
+                           pb + (shared_b ? 0 : bi * K * N), N,
+                           po + (bi * M + i0) * N, N);
+        r += rows;
+      }
+      epilogue_rows(r0, r1);
+    };
+    const Index flops_per_row = 2 * N * K;
+    const Index grain =
+        std::max<Index>(1, (1 << 20) / std::max<Index>(1, flops_per_row));
+    if (cfg.backend == KernelBackend::kParallel) {
+      active_pool().parallel_for(batch * M, grain, run_rows, cfg.threads);
+    } else {
+      run_rows(0, batch * M);
+    }
+  }
+  g_flops.fetch_add(
+      static_cast<std::uint64_t>(2) * static_cast<std::uint64_t>(batch) *
+          static_cast<std::uint64_t>(M) * static_cast<std::uint64_t>(N) *
+          static_cast<std::uint64_t>(K),
+      std::memory_order_relaxed);
+  return out;
+}
+
 Tensor transpose_last2(const Tensor& a) {
   DCHAG_CHECK(a.rank() >= 2, "transpose_last2 rank " << a.rank());
   std::vector<Index> perm(static_cast<std::size_t>(a.rank()));
@@ -299,31 +522,14 @@ Tensor softmax_lastdim(const Tensor& a) {
   float* o = out.data();
   dispatch_range(rows, std::max<Index>(1, kEwGrain / std::max<Index>(1, D)),
                  [&](Index lo, Index hi) {
-                   for (Index r = lo; r < hi; ++r) {
-                     const float* row = p + r * D;
-                     float* orow = o + r * D;
-                     float mx = row[0];
-                     for (Index j = 1; j < D; ++j) mx = std::max(mx, row[j]);
-                     float sum = 0.0f;
-                     for (Index j = 0; j < D; ++j) {
-                       orow[j] = std::exp(row[j] - mx);
-                       sum += orow[j];
-                     }
-                     const float inv = 1.0f / sum;
-                     for (Index j = 0; j < D; ++j) orow[j] *= inv;
-                   }
+                   for (Index r = lo; r < hi; ++r)
+                     softmax_row(p + r * D, o + r * D, D);
                  });
   return out;
 }
 
-namespace {
-constexpr float kGeluC = 0.7978845608028654f;  // sqrt(2/pi)
-}
-
 Tensor gelu(const Tensor& a) {
-  return unary_op(a, [](float x) {
-    return 0.5f * x * (1.0f + std::tanh(kGeluC * (x + 0.044715f * x * x * x)));
-  });
+  return unary_op(a, [](float x) { return gelu_scalar(x); });
 }
 
 Tensor gelu_grad(const Tensor& a) {
@@ -359,29 +565,33 @@ LayerNormResult layernorm(const Tensor& a, const Tensor& gamma,
   float* y = r.y.data();
   float* mean = r.mean.data();
   float* rstd = r.rstd.data();
-  dispatch_range(
-      rows, std::max<Index>(1, kEwGrain / std::max<Index>(1, D)),
-      [&](Index lo, Index hi) {
-        for (Index i = lo; i < hi; ++i) {
-          const float* row = p + i * D;
-          float m = 0.0f;
-          for (Index j = 0; j < D; ++j) m += row[j];
-          m /= static_cast<float>(D);
-          float v = 0.0f;
-          for (Index j = 0; j < D; ++j) {
-            const float d = row[j] - m;
-            v += d * d;
-          }
-          v /= static_cast<float>(D);
-          const float rs = 1.0f / std::sqrt(v + eps);
-          mean[i] = m;
-          rstd[i] = rs;
-          float* yrow = y + i * D;
-          for (Index j = 0; j < D; ++j)
-            yrow[j] = (row[j] - m) * rs * g[j] + b[j];
-        }
-      });
+  dispatch_range(rows, std::max<Index>(1, kEwGrain / std::max<Index>(1, D)),
+                 [&](Index lo, Index hi) {
+                   for (Index i = lo; i < hi; ++i)
+                     ln_row(p + i * D, y + i * D, D, g, b, eps, mean + i,
+                            rstd + i);
+                 });
   return r;
+}
+
+Tensor layernorm_value(const Tensor& a, const Tensor& gamma,
+                       const Tensor& beta, float eps) {
+  const Index D = a.dim(-1);
+  DCHAG_CHECK(gamma.shape() == Shape{D} && beta.shape() == Shape{D},
+              "layernorm gamma/beta must be [" << D << "]");
+  const Index rows = a.numel() / D;
+  Tensor y(a.shape());
+  const float* p = a.data();
+  const float* g = gamma.data();
+  const float* b = beta.data();
+  float* py = y.data();
+  dispatch_range(rows, std::max<Index>(1, kEwGrain / std::max<Index>(1, D)),
+                 [&](Index lo, Index hi) {
+                   for (Index i = lo; i < hi; ++i)
+                     ln_row(p + i * D, py + i * D, D, g, b, eps, nullptr,
+                            nullptr);
+                 });
+  return y;
 }
 
 Tensor concat(std::span<const Tensor> ts, Index dim) {

@@ -14,6 +14,7 @@
 #include <span>
 #include <vector>
 
+#include "tensor/gemm.hpp"
 #include "tensor/tensor.hpp"
 
 namespace dchag::tensor::ops {
@@ -42,6 +43,38 @@ Tensor reduce_to_shape(const Tensor& t, const Shape& target);
 /// dims, or rank-2 [K, N] shared across the batch.
 Tensor matmul(const Tensor& a, const Tensor& b);
 
+// ----- fused serving kernels -------------------------------------------------
+//
+// Rowwise epilogues folded into the GEMM tail: each parallel row strip
+// finishes complete output rows, so bias/activation/residual/layernorm
+// run in the same task that produced them instead of separate ThreadPool
+// fan-outs (and separate output tensors). Every stage reuses the exact
+// scalar code of its standalone op, and residual addition only swaps the
+// operand order of a commutative float add, so fused outputs are
+// bit-identical to the unfused op chain — the parity suites assert this.
+
+/// Optional tail stages of linear_fused, applied in declaration order:
+/// bias add, GELU, residual add, layernorm.
+struct LinearEpilogue {
+  const Tensor* bias = nullptr;      ///< [N], broadcast over rows
+  bool gelu = false;
+  const Tensor* residual = nullptr;  ///< same shape as the output
+  const Tensor* ln_gamma = nullptr;  ///< [N]; with ln_beta, layernorm tail
+  const Tensor* ln_beta = nullptr;   ///< [N]
+  float ln_eps = 1e-5f;
+};
+
+/// x [*, M, K] times shared w [K, N] with the epilogue fused into each
+/// row strip. `packed` (from gemm::pack_b_matrix, matching w) removes
+/// pack_b from the per-call path on the blocked/parallel backends; pass
+/// nullptr to pack per call.
+Tensor linear_fused(const Tensor& x, const Tensor& w,
+                    const gemm::PackedB* packed, const LinearEpilogue& epi);
+
+/// softmax_lastdim(scale(matmul(a, b), s)) with the scale+softmax rows
+/// fused into the matmul's row strips (the attention score path).
+Tensor matmul_scale_softmax(const Tensor& a, const Tensor& b, float s);
+
 Tensor transpose_last2(const Tensor& a);
 Tensor permute(const Tensor& a, const std::vector<Index>& perm);
 
@@ -62,6 +95,12 @@ struct LayerNormResult {
 /// Layer norm over the last dimension; gamma/beta have shape [D].
 LayerNormResult layernorm(const Tensor& a, const Tensor& gamma,
                           const Tensor& beta, float eps = 1e-5f);
+
+/// Forward-only layer norm: the same kernel as layernorm() but without
+/// materialising the mean/rstd tensors backward needs — the tape-free
+/// serving path (three fresh tensors per call otherwise). Bit-identical y.
+Tensor layernorm_value(const Tensor& a, const Tensor& gamma,
+                       const Tensor& beta, float eps = 1e-5f);
 
 // ----- shape manipulation ----------------------------------------------------
 

@@ -1,0 +1,95 @@
+#include "tensor/plan.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace dchag::tensor::plan {
+
+namespace {
+
+thread_local std::uint64_t t_buffer_allocations = 0;
+thread_local Arena* t_active_arena = nullptr;
+
+}  // namespace
+
+std::uint64_t thread_buffer_allocations() { return t_buffer_allocations; }
+
+struct Arena::State {
+  mutable std::mutex mu;
+  /// Free lists keyed by exact element count; a buffer only ever serves
+  /// tensors of the size it was born with, so reuse never over-allocates.
+  std::unordered_map<Index, std::vector<std::unique_ptr<AlignedVec>>> pool;
+  std::uint64_t fresh = 0;
+  std::uint64_t reused = 0;
+};
+
+Arena::Arena() : state_(std::make_shared<State>()) {}
+
+std::shared_ptr<AlignedVec> Arena::acquire_raw(Index n) {
+  std::unique_ptr<AlignedVec> buf;
+  {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    auto it = state_->pool.find(n);
+    if (it != state_->pool.end() && !it->second.empty()) {
+      buf = std::move(it->second.back());
+      it->second.pop_back();
+      ++state_->reused;
+    } else {
+      ++state_->fresh;
+    }
+  }
+  if (!buf) {
+    buf = std::make_unique<AlignedVec>(static_cast<std::size_t>(n));
+    ++t_buffer_allocations;
+  }
+  // The deleter owns a reference to the shared state, so buffers released
+  // after the Arena object is gone still park (and ultimately free) safely.
+  std::shared_ptr<State> state = state_;
+  AlignedVec* raw = buf.release();
+  return std::shared_ptr<AlignedVec>(raw, [state](AlignedVec* p) {
+    std::lock_guard<std::mutex> lock(state->mu);
+    state->pool[static_cast<Index>(p->size())].emplace_back(p);
+  });
+}
+
+std::shared_ptr<AlignedVec> Arena::acquire(Index n) {
+  std::shared_ptr<AlignedVec> buf = acquire_raw(n);
+  std::fill(buf->begin(), buf->end(), 0.0f);
+  return buf;
+}
+
+Arena::Stats Arena::stats() const {
+  std::lock_guard<std::mutex> lock(state_->mu);
+  Stats s;
+  s.fresh = state_->fresh;
+  s.reused = state_->reused;
+  for (const auto& [n, free] : state_->pool) {
+    (void)n;
+    s.pooled += free.size();
+  }
+  return s;
+}
+
+ArenaScope::ArenaScope(Arena& arena) : prev_(t_active_arena) {
+  t_active_arena = &arena;
+}
+
+ArenaScope::~ArenaScope() { t_active_arena = prev_; }
+
+namespace detail {
+
+std::shared_ptr<AlignedVec> acquire_buffer(Index n) {
+  if (t_active_arena != nullptr) return t_active_arena->acquire(n);
+  ++t_buffer_allocations;
+  return std::make_shared<AlignedVec>(static_cast<std::size_t>(n), 0.0f);
+}
+
+std::shared_ptr<AlignedVec> acquire_buffer_raw(Index n) {
+  if (t_active_arena != nullptr) return t_active_arena->acquire_raw(n);
+  ++t_buffer_allocations;
+  return std::make_shared<AlignedVec>(static_cast<std::size_t>(n));
+}
+
+}  // namespace detail
+
+}  // namespace dchag::tensor::plan

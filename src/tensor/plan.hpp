@@ -1,0 +1,86 @@
+// Static memory plan for the tape-free serving forward: a size-keyed
+// arena of aligned, reusable tensor buffers.
+//
+// A forward pass builds the same graph every request, so the multiset of
+// buffer sizes it allocates is identical from one request to the next.
+// Installing an ArenaScope on the serving thread reroutes every Tensor
+// construction on that thread through the arena: the first request per
+// (batch, channel-subset) lane populates the pool (warm-up), and every
+// later request draws exclusively from it — zero heap allocations in
+// steady state, which tests and the serving bench gate on via
+// thread_buffer_allocations().
+//
+// Lifetime: buffers carry a deleter owning a reference to the arena's
+// shared state, so result tensors that escape the scope (responses, the
+// SPMD published result) stay valid past the arena — and still return
+// their buffer to the pool when the last Tensor referencing it dies.
+// The pool itself is mutex-protected: one Engine-owned arena is shared
+// by every server worker thread.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "tensor/align.hpp"
+#include "tensor/shape.hpp"
+
+namespace dchag::tensor::plan {
+
+/// Physical buffer allocations (operator new of an AlignedVec) performed
+/// on the CALLING thread since it started — arena reuses do not count.
+/// The serving steady-state contract is that this stays flat across a
+/// warmed-up forward.
+[[nodiscard]] std::uint64_t thread_buffer_allocations();
+
+class Arena {
+ public:
+  struct Stats {
+    std::uint64_t fresh = 0;   ///< pool misses (heap allocations)
+    std::uint64_t reused = 0;  ///< pool hits
+    std::uint64_t pooled = 0;  ///< buffers currently parked in the pool
+  };
+
+  Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  ~Arena() = default;  // outstanding buffers keep the shared state alive
+
+  /// A zero-filled buffer of exactly `n` floats, pooled if available.
+  [[nodiscard]] std::shared_ptr<AlignedVec> acquire(Index n);
+  /// Same, but contents are unspecified (reused buffers keep stale data);
+  /// callers must overwrite every element.
+  [[nodiscard]] std::shared_ptr<AlignedVec> acquire_raw(Index n);
+
+  [[nodiscard]] Stats stats() const;
+
+ private:
+  struct State;
+  std::shared_ptr<State> state_;
+};
+
+/// RAII: routes Tensor buffer acquisition on this thread through `arena`
+/// for the scope's lifetime. Nests; restores the previous arena (or none)
+/// on destruction.
+class ArenaScope {
+ public:
+  explicit ArenaScope(Arena& arena);
+  ~ArenaScope();
+  ArenaScope(const ArenaScope&) = delete;
+  ArenaScope& operator=(const ArenaScope&) = delete;
+
+ private:
+  Arena* prev_;
+};
+
+namespace detail {
+/// Tensor's allocation hook: the active arena's acquire (zeroed /
+/// uninitialised) when an ArenaScope is installed on this thread, a plain
+/// counted heap allocation otherwise.
+[[nodiscard]] std::shared_ptr<AlignedVec> acquire_buffer(Index n);
+[[nodiscard]] std::shared_ptr<AlignedVec> acquire_buffer_raw(Index n);
+}  // namespace detail
+
+}  // namespace dchag::tensor::plan

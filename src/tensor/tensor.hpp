@@ -3,13 +3,21 @@
 // Copying a Tensor aliases the same storage (like torch tensors); use
 // clone() for a deep copy. All tensors are contiguous row-major, which
 // keeps every kernel a flat loop and makes reshape() free.
+//
+// Storage is 32-byte aligned (tensor/align.hpp) and acquired through
+// plan::detail::acquire_buffer, so a serving thread running under a
+// plan::ArenaScope transparently reuses pooled buffers instead of
+// touching the heap — no per-op changes anywhere else in the codebase.
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <span>
 #include <vector>
 
+#include "tensor/align.hpp"
+#include "tensor/plan.hpp"
 #include "tensor/shape.hpp"
 
 namespace dchag::tensor {
@@ -35,26 +43,26 @@ class Tensor {
 
   /// Zero-initialised tensor of the given shape.
   explicit Tensor(Shape shape)
-      : buf_(std::make_shared<std::vector<float>>(
-            static_cast<std::size_t>(shape.numel()), 0.0f)),
+      : buf_(plan::detail::acquire_buffer(shape.numel())),
         shape_(std::move(shape)) {
     record_allocation();
   }
 
   Tensor(Shape shape, float fill)
-      : buf_(std::make_shared<std::vector<float>>(
-            static_cast<std::size_t>(shape.numel()), fill)),
+      : buf_(plan::detail::acquire_buffer_raw(shape.numel())),
         shape_(std::move(shape)) {
+    std::fill(buf_->begin(), buf_->end(), fill);
     record_allocation();
   }
 
-  /// Takes ownership of `data`; size must equal shape.numel().
-  static Tensor from_data(Shape shape, std::vector<float> data) {
+  /// Copies `data` into aligned storage; size must equal shape.numel().
+  static Tensor from_data(Shape shape, const std::vector<float>& data) {
     DCHAG_CHECK(static_cast<Index>(data.size()) == shape.numel(),
                 "data size " << data.size() << " != numel of "
                              << shape.to_string());
     Tensor t;
-    t.buf_ = std::make_shared<std::vector<float>>(std::move(data));
+    t.buf_ = plan::detail::acquire_buffer_raw(shape.numel());
+    std::copy(data.begin(), data.end(), t.buf_->begin());
     t.shape_ = std::move(shape);
     t.record_allocation();
     return t;
@@ -92,8 +100,8 @@ class Tensor {
 
   [[nodiscard]] Tensor clone() const {
     Tensor t;
-    t.buf_ = std::make_shared<std::vector<float>>(span().begin(),
-                                                  span().end());
+    t.buf_ = plan::detail::acquire_buffer_raw(numel());
+    std::copy(span().begin(), span().end(), t.buf_->begin());
     t.shape_ = shape_;
     t.record_allocation();
     return t;
@@ -151,7 +159,7 @@ class Tensor {
     return flat;
   }
 
-  std::shared_ptr<std::vector<float>> buf_;
+  std::shared_ptr<AlignedVec> buf_;
   Index offset_ = 0;
   Shape shape_;
 };

@@ -1,0 +1,181 @@
+// The serving plan's end-to-end oracle: a planned Engine (frozen model,
+// pre-packed GEMM panels, fused epilogues, arena-backed buffers) is
+// bit-identical to the unplanned tape-free forward on every backend, for
+// full-channel and subset requests, and after a checkpoint cold start.
+// Steady-state requests allocate zero heap buffers; mutating a weight
+// after the freeze fails loudly instead of serving stale panels.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "model/foundation.hpp"
+#include "serve/engine.hpp"
+#include "tensor/kernel_config.hpp"
+#include "tensor/plan.hpp"
+#include "train/checkpoint.hpp"
+
+namespace dchag::serve {
+namespace {
+
+namespace ops = dchag::tensor::ops;
+using dchag::autograd::NoGradGuard;
+using dchag::autograd::StaleWeightPackError;
+using dchag::autograd::Variable;
+using dchag::model::ForecastModel;
+using dchag::model::ModelConfig;
+using dchag::tensor::KernelBackend;
+using dchag::tensor::Rng;
+using dchag::tensor::Shape;
+
+ForecastModel make_model(Index channels, std::uint64_t seed) {
+  ModelConfig cfg = ModelConfig::tiny();
+  Rng rng(seed);
+  auto fe = dchag::model::make_baseline_frontend(cfg, channels, rng);
+  return ForecastModel(cfg, std::move(fe), channels, rng);
+}
+
+runtime::ContextPatch backend_patch(KernelBackend b) {
+  return runtime::ContextPatch::with_kernels({b, 0});
+}
+
+TEST(PlanParity, PlannedMatchesUnplannedOnEveryBackend) {
+  // Same seed -> bit-identical weights in both models.
+  ForecastModel planned_model = make_model(4, 21);
+  ForecastModel unplanned_model = make_model(4, 21);
+  Engine planned(planned_model);
+  EngineOptions off;
+  off.plan = false;
+  Engine unplanned(unplanned_model, std::nullopt, off);
+  EXPECT_TRUE(planned_model.is_frozen());
+  EXPECT_FALSE(unplanned_model.is_frozen());
+
+  Tensor images = Rng(5).normal_tensor(Shape{2, 4, 16, 16});
+  Tensor subset = ops::concat(
+      std::vector<Tensor>{ops::slice(images, 1, 0, 1),
+                          ops::slice(images, 1, 2, 1)},
+      1);
+  const std::vector<Index> subset_ids{0, 2};
+  for (KernelBackend b : {KernelBackend::kNaive, KernelBackend::kBlocked,
+                          KernelBackend::kParallel}) {
+    runtime::Scope scope(backend_patch(b));
+    EXPECT_EQ(ops::max_abs_diff(planned.run(images, {}, 1.5f),
+                                unplanned.run(images, {}, 1.5f)),
+              0.0f)
+        << "full channels, backend " << to_string(b);
+    EXPECT_EQ(ops::max_abs_diff(planned.run(subset, subset_ids, 1.5f),
+                                unplanned.run(subset, subset_ids, 1.5f)),
+              0.0f)
+        << "channel subset, backend " << to_string(b);
+  }
+}
+
+TEST(PlanParity, FrozenForwardIsBitIdenticalToGradModeForward) {
+  ForecastModel model = make_model(3, 23);
+  Tensor images = Rng(6).normal_tensor(Shape{1, 3, 16, 16});
+  Tensor with_grad = model.predict(images, 2.0f).value();
+  model.freeze_for_serving();
+  Tensor frozen;
+  {
+    NoGradGuard no_grad;
+    frozen = model.predict(images, 2.0f).value();
+  }
+  EXPECT_EQ(ops::max_abs_diff(with_grad, frozen), 0.0f);
+}
+
+TEST(PlanParity, CheckpointColdStartMatchesDonorModel) {
+  // Donor weights -> checkpoint -> fresh differently-seeded model loads
+  // and freezes. The planned forward must match the donor's bit-for-bit
+  // (panels packed from the LOADED weights, not the factory seed's).
+  const std::string path = std::string(::testing::TempDir()) +
+                           "/plan_parity_cold_start.ckpt";
+  ForecastModel donor = make_model(3, 31);
+  train::save_module(path, donor);
+  Engine donor_engine(donor);
+
+  ForecastModel cold = make_model(3, 77);  // different seed
+  cold.eval();
+  train::load_module(path, cold);
+  Engine cold_engine(cold);  // freezes AFTER the load
+
+  Tensor images = Rng(7).normal_tensor(Shape{2, 3, 16, 16});
+  EXPECT_EQ(ops::max_abs_diff(cold_engine.run(images, {}, 0.5f),
+                              donor_engine.run(images, {}, 0.5f)),
+            0.0f);
+  std::remove(path.c_str());
+}
+
+TEST(PlanParity, MutatedWeightAfterFreezeFailsLoudly) {
+  ForecastModel model = make_model(2, 41);
+  model.freeze_for_serving();
+  // Element 0 is always covered by the fingerprint, full or sampled.
+  for (Variable& p : model.parameters()) {
+    if (p.name().find(".weight") != std::string::npos) {
+      p.mutable_value().data()[0] += 1.0f;
+      break;
+    }
+  }
+  NoGradGuard no_grad;
+  Tensor images = Rng(8).normal_tensor(Shape{1, 2, 16, 16});
+  EXPECT_THROW((void)model.predict(images, 1.0f), StaleWeightPackError);
+}
+
+TEST(PlanParity, TrainClearsTheFreezeAndReFreezeRepacks) {
+  ForecastModel model = make_model(2, 43);
+  model.freeze_for_serving();
+  EXPECT_TRUE(model.is_frozen());
+  model.train();
+  EXPECT_FALSE(model.is_frozen());
+  // Mutate a weight while unfrozen: legal, and the next freeze repacks.
+  for (Variable& p : model.parameters()) {
+    if (p.name().find(".weight") != std::string::npos) {
+      p.mutable_value().data()[0] += 1.0f;
+      break;
+    }
+  }
+  model.freeze_for_serving();
+  NoGradGuard no_grad;
+  Tensor images = Rng(9).normal_tensor(Shape{1, 2, 16, 16});
+  (void)model.predict(images, 1.0f);  // must not throw
+}
+
+TEST(PlanParity, SteadyStateRequestsAllocateZeroBuffers) {
+  ForecastModel model = make_model(4, 51);
+  Engine engine(model);
+  Tensor images = Rng(10).normal_tensor(Shape{2, 4, 16, 16});
+  Tensor subset = ops::slice(images, 1, 1, 2);
+  const std::vector<Index> subset_ids{1, 2};
+  // Warm-up: two rounds per lane (the second round re-pools the buffers
+  // the first round's still-live results were holding).
+  Tensor r_full, r_sub;
+  for (int i = 0; i < 2; ++i) {
+    r_full = engine.run(images, {}, 1.0f);
+    r_sub = engine.run(subset, subset_ids, 1.0f);
+  }
+  const std::uint64_t before = tensor::plan::thread_buffer_allocations();
+  r_full = engine.run(images, {}, 1.0f);
+  r_sub = engine.run(subset, subset_ids, 1.0f);
+  EXPECT_EQ(tensor::plan::thread_buffer_allocations() - before, 0u)
+      << "steady-state serving forward touched the heap";
+  const tensor::plan::Arena::Stats stats = engine.arena_stats();
+  EXPECT_GT(stats.reused, 0u);
+  EXPECT_GT(stats.fresh, 0u);  // the warm-up
+}
+
+TEST(PlanParity, UnplannedEngineKeepsCountingAllocations) {
+  ForecastModel model = make_model(2, 53);
+  EngineOptions off;
+  off.plan = false;
+  Engine engine(model, std::nullopt, off);
+  Tensor images = Rng(11).normal_tensor(Shape{1, 2, 16, 16});
+  (void)engine.run(images, {}, 1.0f);  // warm caches either way
+  const std::uint64_t before = tensor::plan::thread_buffer_allocations();
+  (void)engine.run(images, {}, 1.0f);
+  EXPECT_GT(tensor::plan::thread_buffer_allocations() - before, 0u)
+      << "the unplanned baseline should allocate per request";
+  const tensor::plan::Arena::Stats stats = engine.arena_stats();
+  EXPECT_EQ(stats.fresh + stats.reused, 0u);
+}
+
+}  // namespace
+}  // namespace dchag::serve
